@@ -1,0 +1,433 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (see DESIGN.md for the experiment index). Each benchmark
+// runs a reduced-scale configuration (fewer replications, shorter
+// submission window) that preserves the experiment's structure and
+// prints the same rows/series the paper reports; cmd/redsim,
+// cmd/pbsbench, and cmd/grambench run the full-scale versions.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package redreq_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"redreq/internal/core"
+	"redreq/internal/experiment"
+	"redreq/internal/metrics"
+	"redreq/internal/middleware"
+	"redreq/internal/pbsd"
+	"redreq/internal/report"
+	"redreq/internal/rng"
+	"redreq/internal/sched"
+	"redreq/internal/swf"
+	"redreq/internal/workload"
+)
+
+// rngNew aliases rng.New for the benchmarks below.
+var rngNew = rng.New
+
+// benchOpts is the reduced-scale configuration shared by the
+// simulation benchmarks.
+func benchOpts() experiment.Options {
+	o := experiment.Defaults()
+	o.Reps = 2
+	o.Horizon = 3600
+	return o
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.SchemesVsN(benchOpts(), []int{2, 5, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			s := report.NewSeries("Figure 1: relative average stretch vs N", "N", "R2", "R3", "R4", "HALF", "ALL")
+			for _, pt := range points {
+				var ys []float64
+				for _, sr := range pt.Schemes {
+					ys = append(ys, sr.Rel.AvgStretch)
+				}
+				s.AddPoint(fmt.Sprintf("%d", pt.N), ys...)
+			}
+			s.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.SchemesVsN(benchOpts(), []int{2, 10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			s := report.NewSeries("Figure 2: relative CV of stretches vs N", "N", "R2", "R3", "R4", "HALF", "ALL")
+			for _, pt := range points {
+				var ys []float64
+				for _, sr := range pt.Schemes {
+					ys = append(ys, sr.Rel.CVStretch)
+				}
+				s.AddPoint(fmt.Sprintf("%d", pt.N), ys...)
+			}
+			s.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Table1(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("Table 1: HALF vs none (N=10)",
+				"alg", "avg(exact)", "avg(real)", "cv(exact)", "cv(real)")
+			for _, r := range rows {
+				t.AddRow(r.Alg.String(),
+					report.Cell(r.AvgStretchExact, 2), report.Cell(r.AvgStretchReal, 2),
+					report.Cell(r.CVStretchesExact, 2), report.Cell(r.CVStretchesReal, 2))
+			}
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Table2(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("Table 2: biased selection (N=10)", "scheme", "rel avg", "rel CV")
+			for _, r := range rows {
+				t.AddRow(r.Scheme.String(), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
+			}
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Figure3(benchOpts(), []float64{3.43, 5.01, 7.84})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			s := report.NewSeries("Figure 3: relative avg stretch vs iat", "iat", "R2", "R3", "R4", "HALF", "ALL")
+			for _, pt := range points {
+				var ys []float64
+				for _, sr := range pt.Schemes {
+					ys = append(ys, sr.Rel.AvgStretch)
+				}
+				s.AddPoint(fmt.Sprintf("%.2f", pt.MeanIAT), ys...)
+			}
+			s.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Table3(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("Table 3: heterogeneous platforms (N=10)", "scheme", "rel avg", "rel CV")
+			for _, r := range rows {
+				t.AddRow(r.Scheme.String(), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
+			}
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.Figure4(benchOpts(), []float64{0, 0.4, 1.0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("Figure 4: stretch by class vs p (N=10)", "scheme", "p%", "r", "n-r")
+			for _, pt := range points {
+				r, nr := "-", "-"
+				if pt.Fraction > 0 {
+					r = report.Cell(pt.RStretch, 2)
+				}
+				if pt.Fraction < 1 {
+					nr = report.Cell(pt.NRStretch, 2)
+				}
+				t.AddRow(pt.Scheme.String(), fmt.Sprintf("%.0f", pt.Fraction*100), r, nr)
+			}
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.Table4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("Table 4: wait over-prediction (N=10, CBF)", "population", "avg", "CV%")
+			t.AddRow("0% redundant", report.Cell(res.BaselineAvg, 2), report.Cell(res.BaselineCV, 0))
+			t.AddRow("40% ALL: n-r", report.Cell(res.NonRedundantAvg, 2), report.Cell(res.NonRedundantCV, 0))
+			t.AddRow("40% ALL: r", report.Cell(res.RedundantAvg, 2), report.Cell(res.RedundantCV, 0))
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkQueueGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		opts.Horizon = 4 * 3600 // reduced from the paper's 24h window
+		res, err := experiment.QueueGrowth(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			fmt.Printf("queue growth: NONE %.1f, ALL %.1f (ratio %.3f)\n",
+				res.MaxQueueNone, res.MaxQueueAll, res.Ratio)
+		}
+	}
+}
+
+func BenchmarkInflationAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.InflationAblation(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("inflation ablation (HALF)", "inflate", "rel avg", "rel CV")
+			for _, r := range rows {
+				t.AddRow(fmt.Sprintf("%.0f%%", r.Inflate*100), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
+			}
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := pbsd.Sweep([]int{0, 5000, 10000}, 2, 300*time.Millisecond, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("Figure 5: daemon throughput vs queue size", "queue", "pairs/s", "bound r (iat=5.01)")
+			for _, r := range results {
+				t.AddRow(fmt.Sprintf("%d", r.QueueSize), report.Cell(r.PairRate, 1),
+					fmt.Sprintf("%d", pbsd.LoadBound(r.PairRate, 5.01)))
+			}
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkMiddlewareMarshal measures raw SOAP-style marshalling of
+// the [20] benchmark payload (Section 4.2, regime (a)).
+func BenchmarkMiddlewareMarshal(b *testing.B) {
+	payload := middleware.NewTripleArray(30000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raw, err := middleware.MarshalTriples(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := middleware.UnmarshalTriples(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMiddlewareTransaction measures full middleware transactions
+// (submit+cancel through the HTTP service over a real socket) in the
+// GRAM-like durable+security mode (Section 4.2, regime (b)).
+func BenchmarkMiddlewareTransaction(b *testing.B) {
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer backend.Close()
+	stateDir := b.TempDir()
+	svc, err := middleware.NewService(middleware.ServiceConfig{
+		Durable: true, Security: true, StateDir: stateDir, Backend: backend,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ep, err := middleware.Start(svc, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ep.Close()
+	client := middleware.NewClient(ep.URL, "bench")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := client.Submit("bench-job", 1, time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := client.Cancel(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulationCore measures raw simulator throughput: one
+// 10-cluster EASY run under the ALL scheme (jobs simulated per second
+// is the relevant ops metric; b.N scales the replication count).
+func BenchmarkSimulationCore(b *testing.B) {
+	clusters := make([]core.ClusterSpec, 10)
+	for i := range clusters {
+		clusters[i] = core.ClusterSpec{Nodes: 128}
+	}
+	cfg := core.Config{
+		Clusters: clusters, Alg: sched.EASY, Scheme: core.SchemeAll,
+		RedundantFraction: 1, Selection: core.SelUniform,
+		Horizon: 1800, EstMode: workload.Exact,
+		TargetLoad: 0.93, MinRuntime: 30, MaxRuntime: 7200,
+	}
+	var jobs int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		jobs += len(res.Jobs)
+		if s := metrics.FromResult(res, nil); s.AvgStretch < 1 {
+			b.Fatalf("impossible stretch %v", s.AvgStretch)
+		}
+	}
+	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkMultiQueue runs the option (iii) extension: redundant
+// requests across two queues of one resource.
+func BenchmarkMultiQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		res, err := experiment.MultiQueue(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			fmt.Printf("multi-queue: best-queue %.2f, redundant %.2f (ratio %.2f); short-queue wins %.0f%% -> %.0f%%\n",
+				res.SingleAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch,
+				res.ShortWinsSingle*100, res.ShortWinsRedundant*100)
+		}
+	}
+}
+
+// BenchmarkMoldable runs the option (iv) extension: redundant shape
+// variants for moldable jobs.
+func BenchmarkMoldable(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opts := benchOpts()
+		res, err := experiment.Moldable(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			fmt.Printf("moldable: fixed %.2f, redundant shapes %.2f (ratio %.2f); %.0f%% changed shape\n",
+				res.FixedAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch,
+				res.ShapeChangedFrac*100)
+		}
+	}
+}
+
+// BenchmarkAblations toggles the scheduler design choices DESIGN.md
+// calls out and reports HALF-vs-NONE under each.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Ablations(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			t := report.NewTable("ablations (HALF vs NONE, N=10)", "choice", "rel avg", "rel CV")
+			for _, r := range rows {
+				t.AddRow(r.Name, report.Cell(r.RelAvgStretch, 2), report.Cell(r.RelCVStretch, 2))
+			}
+			t.Render(os.Stdout)
+		}
+	}
+}
+
+// BenchmarkLoadSweep exposes where redundancy stops helping as offered
+// load crosses saturation.
+func BenchmarkLoadSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiment.LoadSweep(benchOpts(), []float64{0.45, 0.90})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, pt := range points {
+				fmt.Printf("load %.2f: baseline stretch %.2f, ALL/NONE %.2f\n",
+					pt.TargetLoad, pt.BaselineAvgStretch, pt.RelAvgStretch)
+			}
+		}
+	}
+}
+
+// BenchmarkPBSDDirect measures the daemon's direct-API operation cost
+// at a moderate queue depth (per-op cost is the Figure 5 driver).
+func BenchmarkPBSDDirect(b *testing.B) {
+	srv, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 2000; i++ {
+		if _, err := srv.Submit("pre", 1, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Submit("bench", 1, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := srv.DeleteHead(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSWFParse measures trace parsing throughput.
+func BenchmarkSWFParse(b *testing.B) {
+	model := workload.NewModel(128)
+	jobs := model.GenerateWindow(rngNew(1), 3600)
+	tr := swf.FromJobs(jobs, "bench", 128)
+	var buf bytes.Buffer
+	if err := swf.Write(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := swf.Parse(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command grambench reproduces the Section 4.2 middleware analysis:
+// it measures (a) raw SOAP-style marshalling throughput of the [20]
+// benchmark payload (30,000 {int,int,double} records, >450 KB) and
+// (b) full middleware transaction throughput with and without durable
+// per-transaction service state, then derives the redundancy bound
+// r < iat * rate for each regime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"redreq/internal/middleware"
+	"redreq/internal/pbsd"
+	"redreq/internal/report"
+)
+
+func main() {
+	var (
+		clients = flag.Int("clients", 4, "concurrent clients")
+		dur     = flag.Duration("dur", 2*time.Second, "measurement window")
+		iat     = flag.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
+		items   = flag.Int("items", 30000, "records in the marshalling payload")
+	)
+	flag.Parse()
+
+	// (a) Raw marshalling, the gSOAP-style measurement of [20].
+	payload := middleware.NewTripleArray(*items)
+	raw, err := middleware.MarshalTriples(payload)
+	if err != nil {
+		fail(err)
+	}
+	n := 0
+	start := time.Now()
+	for time.Since(start) < *dur {
+		b, err := middleware.MarshalTriples(payload)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := middleware.UnmarshalTriples(b); err != nil {
+			fail(err)
+		}
+		n++
+	}
+	marshalRate := float64(n) / time.Since(start).Seconds()
+	fmt.Printf("raw marshal+unmarshal of %d-record payload (%d KB): %.1f round-trips/s\n",
+		*items, len(raw)/1024, marshalRate)
+
+	// (b) Full middleware transactions.
+	t := report.NewTable("middleware transaction throughput (submit+cancel pairs)",
+		"mode", "pairs/s", "tx/s", "bound r (iat)")
+	modes := []struct {
+		name              string
+		durable, security bool
+	}{
+		{"in-memory", false, false},
+		{"durable (state file + fsync per tx)", true, false},
+		{"full GRAM-like (durable + message security)", true, true},
+	}
+	for _, m := range modes {
+		rate, err := measure(*clients, *dur, m.durable, m.security)
+		if err != nil {
+			fail(err)
+		}
+		t.AddRow(m.name, report.Cell(rate.PairRate, 1), report.Cell(rate.PerSecond, 1),
+			fmt.Sprintf("%d", pbsd.LoadBound(rate.PairRate, *iat)))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nThe paper measures ~0.5 submit+cancel pairs/s for GT4 WS-GRAM, giving r < 3;\n")
+	fmt.Printf("the shape to check is marshalling >> middleware transactions, and the derived\n")
+	fmt.Printf("bound r < iat * pair-rate for whichever layer is slowest.\n")
+}
+
+func measure(clients int, dur time.Duration, durable, security bool) (middleware.RateResult, error) {
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		return middleware.RateResult{}, err
+	}
+	defer backend.Close()
+	stateDir := ""
+	if durable {
+		stateDir, err = os.MkdirTemp("", "grambench-state")
+		if err != nil {
+			return middleware.RateResult{}, err
+		}
+		defer os.RemoveAll(stateDir)
+	}
+	svc, err := middleware.NewService(middleware.ServiceConfig{
+		Durable:  durable,
+		Security: security,
+		StateDir: stateDir,
+		Backend:  backend,
+	})
+	if err != nil {
+		return middleware.RateResult{}, err
+	}
+	defer svc.Close()
+	ep, err := middleware.Start(svc, "127.0.0.1:0")
+	if err != nil {
+		return middleware.RateResult{}, err
+	}
+	defer ep.Close()
+	return middleware.MeasureRate(ep.URL, clients, dur, durable)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "grambench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command pbsbench reproduces Figure 5: it saturates the pbsd batch
+// scheduler daemon with job submissions and head-of-queue deletions at
+// increasing queue sizes and reports sustained throughput, then
+// derives the Section 4.1 redundancy bound r < iat * throughput.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"redreq/internal/pbsd"
+	"redreq/internal/report"
+)
+
+func main() {
+	var (
+		sizes   = flag.String("sizes", "", "comma-separated queue sizes (default 0,1000,2500,5000,10000,15000,20000)")
+		clients = flag.Int("clients", 4, "concurrent saturating clients")
+		dur     = flag.Duration("dur", 2*time.Second, "measurement window per queue size")
+		tcp     = flag.Bool("tcp", true, "measure through the TCP protocol (false = direct API)")
+		iat     = flag.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
+		boundQ  = flag.Int("bound", 10000, "queue size at which to evaluate the redundancy bound")
+	)
+	flag.Parse()
+
+	var qs []int
+	if *sizes != "" {
+		for _, f := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pbsbench: bad size %q\n", f)
+				os.Exit(2)
+			}
+			qs = append(qs, v)
+		}
+	}
+	results, err := pbsd.Sweep(qs, *clients, *dur, *tcp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pbsbench: %v\n", err)
+		os.Exit(1)
+	}
+	t := report.NewTable("Figure 5: daemon throughput vs queue size (maximum-churn submit + delete-head)",
+		"queue size", "pairs/s", "ops/s", "avg jobs scanned/cycle")
+	for _, r := range results {
+		t.AddRow(fmt.Sprintf("%d", r.QueueSize),
+			report.Cell(r.PairRate, 1), report.Cell(r.Throughput, 1), report.Cell(r.AvgScan, 0))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	// Section 4.1 bound at the requested queue size (paper: 6
+	// pairs/s at 10,000 pending -> r < 30 at iat = 5 s).
+	var at *pbsd.SaturationResult
+	for i := range results {
+		if results[i].QueueSize == *boundQ {
+			at = &results[i]
+		}
+	}
+	if at == nil && len(results) > 0 {
+		at = &results[len(results)-1]
+	}
+	if at != nil {
+		bound := pbsd.LoadBound(at.PairRate, *iat)
+		fmt.Printf("\nSection 4.1 bound: at a %d-deep queue the daemon sustains %.1f submit+cancel pairs/s;\n",
+			at.QueueSize, at.PairRate)
+		fmt.Printf("with iat = %.2f s the scheduler tolerates r < %d redundant requests per job.\n", *iat, bound)
+	}
+}

@@ -1,0 +1,357 @@
+// Command redsim runs the paper's Section 3 and Section 5 simulation
+// experiments and prints the corresponding table or figure data.
+//
+// Usage:
+//
+//	redsim -exp fig1 [-reps 50] [-horizon 21600] [-load 0.45] ...
+//
+// Experiments: fig1, fig2, table1, table2, fig3, table3, fig4, table4,
+// qgrowth, inflate, loadsweep, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"redreq/internal/experiment"
+	"redreq/internal/report"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment to run: fig1|fig2|table1|table2|fig3|table3|fig4|table4|sec4|qgrowth|inflate|loadsweep|moldable|multiq|ablations|all")
+		reps    = flag.Int("reps", 10, "replications per data point (the paper uses 50)")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		horizon = flag.Float64("horizon", 6*3600, "submission window in seconds")
+		nodes   = flag.Int("nodes", 128, "homogeneous cluster size")
+		load    = flag.Float64("load", 0.45, "calibrated offered load on the reference cluster")
+		minRt   = flag.Float64("minrt", 30, "runtime floor in seconds")
+		maxRt   = flag.Float64("maxrt", 36*3600, "runtime cap in seconds")
+		seed    = flag.Uint64("seed", 20060619, "base seed")
+		quiet   = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	opts := experiment.Defaults()
+	opts.Reps = *reps
+	opts.Workers = *workers
+	opts.Horizon = *horizon
+	opts.Nodes = *nodes
+	opts.TargetLoad = *load
+	opts.MinRuntime = *minRt
+	opts.MaxRuntime = *maxRt
+	opts.BaseSeed = *seed
+	if !*quiet {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	run := func(name string, fn func(experiment.Options) error) {
+		t0 := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := fn(opts); err != nil {
+			fmt.Fprintf(os.Stderr, "redsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s, %d reps)\n\n", time.Since(t0).Round(time.Second), opts.Reps)
+	}
+
+	which := strings.ToLower(*exp)
+	all := which == "all"
+	didSomething := false
+	if all || which == "fig1" || which == "fig2" {
+		run("Figures 1 and 2: relative average stretch and CV vs number of clusters", runFig12)
+		didSomething = true
+	}
+	if all || which == "table1" {
+		run("Table 1: scheduling algorithms x estimate quality (N=10, HALF)", runTable1)
+		didSomething = true
+	}
+	if all || which == "table2" {
+		run("Table 2: non-uniformly distributed redundant requests (N=10)", runTable2)
+		didSomething = true
+	}
+	if all || which == "fig3" {
+		run("Figure 3: relative average stretch vs job interarrival time (N=10)", runFig3)
+		didSomething = true
+	}
+	if all || which == "table3" {
+		run("Table 3: heterogeneous platforms (N=10)", runTable3)
+		didSomething = true
+	}
+	if all || which == "fig4" {
+		run("Figure 4: stretch of r-jobs and n-r jobs vs percentage of redundant jobs (N=10)", runFig4)
+		didSomething = true
+	}
+	if all || which == "table4" {
+		run("Table 4: queue waiting time over-prediction (N=10, CBF)", runTable4)
+		didSomething = true
+	}
+	if all || which == "sec4" {
+		run("Section 4: system load (real scheduler + middleware)", runSection4)
+		didSomething = true
+	}
+	if all || which == "qgrowth" {
+		run("Section 4.1: steady-state queue growth under ALL (24h)", runQGrowth)
+		didSomething = true
+	}
+	if all || which == "inflate" {
+		run("Section 3.1.2: requested-time inflation of redundant copies", runInflate)
+		didSomething = true
+	}
+	if all || which == "loadsweep" {
+		run("Ablation: offered-load sweep (ALL vs NONE)", runLoadSweep)
+		didSomething = true
+	}
+	if all || which == "ablations" {
+		run("Ablations: scheduler design choices (HALF vs NONE, N=10)", runAblations)
+		didSomething = true
+	}
+	if all || which == "multiq" {
+		run("Extension (option iii): redundant requests across queues of one resource", runMultiQueue)
+		didSomething = true
+	}
+	if all || which == "moldable" {
+		run("Extension (option iv): redundant shape variants for moldable jobs", runMoldable)
+		didSomething = true
+	}
+	if !didSomething {
+		fmt.Fprintf(os.Stderr, "redsim: unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runFig12(opts experiment.Options) error {
+	points, err := experiment.SchemesVsN(opts, nil)
+	if err != nil {
+		return err
+	}
+	fig1 := report.NewSeries("Figure 1: average stretch relative to no redundancy", "N", "R2", "R3", "R4", "HALF", "ALL")
+	fig2 := report.NewSeries("Figure 2: coefficient of variation of stretches relative to no redundancy", "N", "R2", "R3", "R4", "HALF", "ALL")
+	maxs := report.NewSeries("(extra) maximum stretch relative to no redundancy", "N", "R2", "R3", "R4", "HALF", "ALL")
+	for _, pt := range points {
+		var avg, cv, mx []float64
+		for _, sr := range pt.Schemes {
+			avg = append(avg, sr.Rel.AvgStretch)
+			cv = append(cv, sr.Rel.CVStretch)
+			mx = append(mx, sr.Rel.MaxStretch)
+		}
+		x := fmt.Sprintf("%d", pt.N)
+		fig1.AddPoint(x, avg...)
+		fig2.AddPoint(x, cv...)
+		maxs.AddPoint(x, mx...)
+	}
+	if err := fig1.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := fig2.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := maxs.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	t := report.NewTable("Win statistics (fraction of replications where the scheme beats no redundancy; worst loss)",
+		"N", "scheme", "win%", "worst loss%", "baseline avg stretch")
+	for _, pt := range points {
+		for _, sr := range pt.Schemes {
+			t.AddRow(fmt.Sprintf("%d", pt.N), sr.Scheme.String(),
+				report.Cell(sr.Rel.WinFraction*100, 0),
+				report.Cell(sr.Rel.WorstLoss*100, 1),
+				report.Cell(pt.BaselineAvgStretch, 2))
+		}
+	}
+	return t.Render(os.Stdout)
+}
+
+func runTable1(opts experiment.Options) error {
+	rows, err := experiment.Table1(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 1: relative metrics for HALF vs no redundancy",
+		"algorithm", "rel avg stretch (exact)", "rel avg stretch (real)", "rel CV (exact)", "rel CV (real)")
+	for _, r := range rows {
+		t.AddRow(r.Alg.String(),
+			report.Cell(r.AvgStretchExact, 2), report.Cell(r.AvgStretchReal, 2),
+			report.Cell(r.CVStretchesExact, 2), report.Cell(r.CVStretchesReal, 2))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runTable2(opts experiment.Options) error {
+	rows, err := experiment.Table2(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 2: biased remote selection, relative to no redundancy",
+		"metric", "R2", "R3", "R4", "HALF")
+	avg := []string{"rel avg stretch"}
+	cv := []string{"rel CV of stretches"}
+	for _, r := range rows {
+		avg = append(avg, report.Cell(r.AvgStretch, 2))
+		cv = append(cv, report.Cell(r.CVStretch, 2))
+	}
+	t.AddRow(avg...)
+	t.AddRow(cv...)
+	return t.Render(os.Stdout)
+}
+
+func runFig3(opts experiment.Options) error {
+	points, err := experiment.Figure3(opts, nil)
+	if err != nil {
+		return err
+	}
+	s := report.NewSeries("Figure 3: relative average stretch vs mean interarrival time (s)", "iat", "R2", "R3", "R4", "HALF", "ALL")
+	for _, pt := range points {
+		var ys []float64
+		for _, sr := range pt.Schemes {
+			ys = append(ys, sr.Rel.AvgStretch)
+		}
+		s.AddPoint(fmt.Sprintf("%.2f", pt.MeanIAT), ys...)
+	}
+	return s.Render(os.Stdout)
+}
+
+func runTable3(opts experiment.Options) error {
+	rows, err := experiment.Table3(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 3: heterogeneous platforms, relative to no redundancy",
+		"scheme", "rel avg stretch", "rel CV of stretches")
+	for _, r := range rows {
+		t.AddRow(r.Scheme.String(), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runFig4(opts experiment.Options) error {
+	points, err := experiment.Figure4(opts, nil)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Figure 4: average stretch by job class vs percentage of redundant jobs",
+		"scheme", "p%", "r jobs", "n-r jobs", "all")
+	for _, pt := range points {
+		rCell, nrCell := "-", "-"
+		if pt.Fraction > 0 {
+			rCell = report.Cell(pt.RStretch, 2)
+		}
+		if pt.Fraction < 1 {
+			nrCell = report.Cell(pt.NRStretch, 2)
+		}
+		t.AddRow(pt.Scheme.String(), fmt.Sprintf("%.0f", pt.Fraction*100),
+			rCell, nrCell, report.Cell(pt.AllStretch, 2))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runTable4(opts experiment.Options) error {
+	res, err := experiment.Table4(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Table 4: queue waiting time over-prediction (predicted/effective wait)",
+		"population", "average", "CV%", "jobs")
+	t.AddRow("0% redundant", report.Cell(res.BaselineAvg, 2), report.Cell(res.BaselineCV, 0), fmt.Sprintf("%d", res.BaselineN))
+	t.AddRow(fmt.Sprintf("%.0f%% ALL: n-r jobs", res.RedundantPercent*100),
+		report.Cell(res.NonRedundantAvg, 2), report.Cell(res.NonRedundantCV, 0), fmt.Sprintf("%d", res.NonRedundantN))
+	t.AddRow(fmt.Sprintf("%.0f%% ALL: r jobs", res.RedundantPercent*100),
+		report.Cell(res.RedundantAvg, 2), report.Cell(res.RedundantCV, 0), fmt.Sprintf("%d", res.RedundantN))
+	return t.Render(os.Stdout)
+}
+
+func runQGrowth(opts experiment.Options) error {
+	opts.Horizon = 24 * 3600 // the paper's window for this observation
+	res, err := experiment.QueueGrowth(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("average max queue length: NONE %.1f, ALL %.1f  (ratio %.3f; paper: < 1.02... per-request counting differs, see EXPERIMENTS.md)\n",
+		res.MaxQueueNone, res.MaxQueueAll, res.Ratio)
+	return nil
+}
+
+func runInflate(opts experiment.Options) error {
+	rows, err := experiment.InflationAblation(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Requested-time inflation of remote copies (HALF vs no redundancy)",
+		"inflation", "rel avg stretch", "rel CV of stretches")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f%%", r.Inflate*100), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runLoadSweep(opts experiment.Options) error {
+	points, err := experiment.LoadSweep(opts, nil)
+	if err != nil {
+		return err
+	}
+	s := report.NewSeries("Offered-load sweep: ALL vs NONE", "load", "baseline stretch", "rel avg stretch")
+	for _, pt := range points {
+		s.AddPoint(fmt.Sprintf("%.2f", pt.TargetLoad), pt.BaselineAvgStretch, pt.RelAvgStretch)
+	}
+	return s.Render(os.Stdout)
+}
+
+func runAblations(opts experiment.Options) error {
+	rows, err := experiment.Ablations(opts)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable("Scheduler design-choice ablations (HALF vs NONE, N=10)",
+		"design choice", "rel avg stretch", "rel CV of stretches")
+	for _, r := range rows {
+		t.AddRow(r.Name, report.Cell(r.RelAvgStretch, 2), report.Cell(r.RelCVStretch, 2))
+	}
+	return t.Render(os.Stdout)
+}
+
+func runMultiQueue(opts experiment.Options) error {
+	res, err := experiment.MultiQueue(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("avg stretch: best-queue %.2f, redundant-queues %.2f (ratio %.2f)\n",
+		res.SingleAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch)
+	fmt.Printf("jobs served by the short queue: %.0f%% -> %.0f%%\n",
+		res.ShortWinsSingle*100, res.ShortWinsRedundant*100)
+	return nil
+}
+
+func runMoldable(opts experiment.Options) error {
+	res, err := experiment.Moldable(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("avg stretch (vs base-shape runtime): fixed %.2f, redundant shapes %.2f (ratio %.2f)\n",
+		res.FixedAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch)
+	fmt.Printf("jobs that ran with a different shape than requested: %.0f%%\n", res.ShapeChangedFrac*100)
+	return nil
+}
+
+func runSection4(opts experiment.Options) error {
+	res, err := experiment.Section4(experiment.Section4Options{
+		Clients: 4,
+		Window:  2 * time.Second,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.String())
+	return nil
+}

@@ -1,0 +1,48 @@
+// Quickstart: simulate a single 128-node cluster under the EASY
+// backfilling scheduler with the Lublin-Feitelson workload, and print
+// schedule-quality metrics. This is the smallest end-to-end use of the
+// library: one cluster, no redundant requests.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"redreq/internal/core"
+	"redreq/internal/metrics"
+	"redreq/internal/sched"
+	"redreq/internal/workload"
+)
+
+func main() {
+	cfg := core.Config{
+		Clusters:   []core.ClusterSpec{{Nodes: 128}},
+		Alg:        sched.EASY,
+		Scheme:     core.SchemeNone,
+		Selection:  core.SelUniform,
+		Seed:       1,
+		Horizon:    2 * 3600, // two hours of submissions
+		EstMode:    workload.Exact,
+		TargetLoad: 0.45,
+		MinRuntime: 30,
+		MaxRuntime: 36 * 3600,
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatalf("quickstart: %v", err)
+	}
+
+	s := metrics.FromResult(res, nil)
+	fmt.Printf("simulated %d jobs over %.1f hours (%d events)\n",
+		len(res.Jobs), res.MakeSpan/3600, res.Events)
+	fmt.Printf("average stretch:          %.2f\n", s.AvgStretch)
+	fmt.Printf("CV of stretches:          %.0f%%\n", s.CVStretch)
+	fmt.Printf("maximum stretch:          %.0f\n", s.MaxStretch)
+	fmt.Printf("average turnaround:       %.0f s\n", s.AvgTurnaround)
+	fmt.Printf("average queue wait:       %.0f s\n", s.AvgWait)
+	fmt.Printf("peak queue length:        %.0f\n", s.MaxQueue)
+
+	st := res.Clusters[0].Stats
+	fmt.Printf("scheduler activity:       %d submissions, %d starts, %d scheduling passes\n",
+		st.Submitted, st.Started, st.Passes)
+}

@@ -1,0 +1,3 @@
+module redreq
+
+go 1.22

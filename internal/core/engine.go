@@ -1,0 +1,420 @@
+// The simulation engine: builds the platform, generates per-cluster
+// job streams, drives submissions, winner callbacks, and cancellations,
+// and collects per-job records.
+
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"redreq/internal/des"
+	"redreq/internal/rng"
+	"redreq/internal/sched"
+	"redreq/internal/workload"
+)
+
+// ClusterSpec describes one site of the simulated platform.
+type ClusterSpec struct {
+	// Nodes is the number of compute nodes.
+	Nodes int
+	// MeanIAT is the mean job interarrival time in seconds for the
+	// job stream arriving at this cluster; 0 uses the workload
+	// model's default (5.01 s, the peak-hour rate).
+	MeanIAT float64
+}
+
+// Config configures one simulation run.
+type Config struct {
+	// Clusters lists the platform's sites.
+	Clusters []ClusterSpec
+	// Alg is the scheduling algorithm used by every cluster.
+	Alg sched.Algorithm
+	// Scheme is the redundant request scheme used by redundant jobs.
+	Scheme Scheme
+	// RedundantFraction is the fraction p of jobs that use redundant
+	// requests (Figure 4); the rest submit only locally. Use 1 to
+	// make every job redundant.
+	RedundantFraction float64
+	// Selection picks remote clusters for redundant copies.
+	Selection Selection
+	// Seed drives all randomness of the run.
+	Seed uint64
+	// Horizon is the submission window in seconds (the paper
+	// simulates 6 hours of submissions); the simulation itself runs
+	// until every job completes.
+	Horizon float64
+	// EstMode selects exact or phi-model runtime estimates.
+	EstMode workload.EstimateMode
+	// InflateRemote adds the given fraction to the requested compute
+	// time of remote copies, modeling the extra time requested for
+	// late binding of input data (Section 3.1.2 tests 10% and 50%).
+	InflateRemote float64
+	// TargetLoad calibrates the workload's runtime scale so a
+	// reference 128-node cluster at the default interarrival time
+	// sees this offered load. 0 skips calibration (scale 1).
+	TargetLoad float64
+	// MinRuntime floors actual runtimes in seconds (0 uses the
+	// workload default). Raising the floor bounds the stretch
+	// denominator, reining in the tail contributed by sub-minute
+	// jobs.
+	MinRuntime float64
+	// Predict records queue-waiting-time predictions at submission
+	// (Section 5). CBF predictions are its reservations; EASY/FCFS
+	// predictions come from a no-backfilling queue simulation.
+	Predict bool
+	// DisableCancelBackfill, DisableCompression, and CompressOnCancel
+	// are scheduler ablations; see sched.Config.
+	DisableCancelBackfill bool
+	DisableCompression    bool
+	CompressOnCancel      bool
+	// MaxJobsPerCluster truncates each cluster's stream (0 = no
+	// limit); used to bound benchmark runtime.
+	MaxJobsPerCluster int
+	// RuntimeScale explicitly multiplies runtimes (0 = none unless
+	// TargetLoad calibration is set; TargetLoad takes precedence).
+	RuntimeScale float64
+	// MaxRuntime caps actual runtimes in seconds (0 uses the
+	// workload default of 36 hours). Lowering the cap tames the
+	// work contributed by the distribution's heavy tail.
+	MaxRuntime float64
+	// Streams, when non-nil, supplies the job stream for each
+	// cluster explicitly (e.g. replayed from an SWF trace) instead
+	// of generating it from the workload model. len(Streams) must
+	// equal len(Clusters); jobs must arrive in nondecreasing order
+	// and fit their cluster.
+	Streams [][]workload.Job
+	// StopAtHorizon ends the simulation at Horizon and computes
+	// metrics over the jobs that completed within the window,
+	// instead of running every submitted job to completion. This is
+	// the natural measurement mode for the paper's peak-hour
+	// workload, under which queues grow throughout the window
+	// (Section 4.1 observes growth of about 700 jobs per hour).
+	StopAtHorizon bool
+}
+
+// Validate reports the first configuration problem found.
+func (cfg *Config) Validate() error {
+	if len(cfg.Clusters) == 0 {
+		return fmt.Errorf("core: no clusters configured")
+	}
+	for i, cs := range cfg.Clusters {
+		if cs.Nodes < 1 {
+			return fmt.Errorf("core: cluster %d has %d nodes", i, cs.Nodes)
+		}
+		if cs.MeanIAT < 0 {
+			return fmt.Errorf("core: cluster %d has negative interarrival time", i)
+		}
+	}
+	if cfg.RedundantFraction < 0 || cfg.RedundantFraction > 1 {
+		return fmt.Errorf("core: redundant fraction %v outside [0,1]", cfg.RedundantFraction)
+	}
+	if cfg.Horizon <= 0 {
+		return fmt.Errorf("core: non-positive horizon %v", cfg.Horizon)
+	}
+	if cfg.InflateRemote < 0 {
+		return fmt.Errorf("core: negative remote inflation %v", cfg.InflateRemote)
+	}
+	if cfg.TargetLoad < 0 {
+		return fmt.Errorf("core: negative target load %v", cfg.TargetLoad)
+	}
+	return nil
+}
+
+// JobRecord is the timeline of one (grid) job after simulation.
+type JobRecord struct {
+	ID        int64
+	Home      int     // cluster the job originates at
+	Redundant bool    // whether the job used redundant requests
+	Copies    int     // number of requests submitted (1 when not redundant)
+	Submit    float64 // submission time
+	Nodes     int
+	Runtime   float64 // actual execution time (of the winning copy)
+	Estimate  float64 // requested compute time (local copy)
+	Start     float64 // execution start of the winning copy
+	End       float64 // completion time
+	Winner    int     // cluster that ran the job
+	Predicted float64 // predicted wait at submission: min over copies; NaN when prediction was off
+}
+
+// Turnaround returns End - Submit.
+func (j *JobRecord) Turnaround() float64 { return j.End - j.Submit }
+
+// Wait returns Start - Submit.
+func (j *JobRecord) Wait() float64 { return j.Start - j.Submit }
+
+// Stretch returns the job's stretch (slowdown): turnaround divided by
+// execution time, the paper's primary metric (Section 3.2). It is
+// clamped below at 1 to absorb floating-point rounding for jobs that
+// start immediately.
+func (j *JobRecord) Stretch() float64 {
+	s := j.Turnaround() / j.Runtime
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// ClusterResult carries per-cluster counters after a run.
+type ClusterResult struct {
+	Name  string
+	Nodes int
+	Stats sched.Stats
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Jobs     []JobRecord
+	Clusters []ClusterResult
+	// Events is the number of discrete events processed.
+	Events uint64
+	// MakeSpan is the simulated time at which the last job finished.
+	MakeSpan float64
+	// Unfinished counts jobs excluded from Jobs because they had not
+	// completed when a StopAtHorizon run ended.
+	Unfinished int
+}
+
+// gridJob tracks one job's redundant copies during simulation.
+type gridJob struct {
+	rec    JobRecord
+	copies []*sched.Request
+	winner *sched.Request
+}
+
+type engine struct {
+	cfg      Config
+	sim      *des.Simulation
+	src      *rng.Source
+	clusters []*sched.Cluster
+	jobs     []*gridJob
+	byReq    map[*sched.Request]*gridJob
+}
+
+// Run executes one simulation and returns its result. Runs are
+// deterministic in cfg (including Seed).
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &engine{
+		cfg:   cfg,
+		sim:   des.New(),
+		src:   rng.New(cfg.Seed ^ 0xA5A5A5A5),
+		byReq: make(map[*sched.Request]*gridJob),
+	}
+
+	// Calibrate a shared runtime scale against the reference
+	// configuration so heterogeneous clusters keep genuinely
+	// different offered loads (Table 3).
+	scale := 1.0
+	if cfg.RuntimeScale > 0 {
+		scale = cfg.RuntimeScale
+	}
+	if cfg.TargetLoad > 0 {
+		ref := workload.NewModel(refNodes)
+		if cfg.MinRuntime > 0 {
+			ref.MinRuntime = cfg.MinRuntime
+		}
+		if cfg.MaxRuntime > 0 {
+			ref.MaxRuntime = cfg.MaxRuntime
+		}
+		scale = ref.CalibrateClamped(rng.New(calibrationSeed), refNodes, cfg.TargetLoad, calibrationSamples)
+	}
+
+	// Build clusters.
+	schedCfg := sched.Config{
+		Alg:                   cfg.Alg,
+		DisableCancelBackfill: cfg.DisableCancelBackfill,
+		DisableCompression:    cfg.DisableCompression,
+		CompressOnCancel:      cfg.CompressOnCancel,
+		Predict:               cfg.Predict,
+	}
+	for i, cs := range cfg.Clusters {
+		sc := schedCfg
+		sc.Nodes = cs.Nodes
+		cl := sched.NewCluster(e.sim, fmt.Sprintf("C%d", i+1), i, sc)
+		cl.OnStart = e.onStart
+		cl.OnFinish = e.onFinish
+		e.clusters = append(e.clusters, cl)
+	}
+
+	// Generate per-cluster job streams and schedule their arrivals.
+	var nextID int64
+	for i, cs := range cfg.Clusters {
+		model := workload.NewModel(cs.Nodes)
+		model.RuntimeScale = scale
+		model.EstMode = cfg.EstMode
+		if cfg.MinRuntime > 0 {
+			model.MinRuntime = cfg.MinRuntime
+		}
+		if cfg.MaxRuntime > 0 {
+			model.MaxRuntime = cfg.MaxRuntime
+		}
+		if cs.MeanIAT > 0 {
+			model.SetMeanInterarrival(cs.MeanIAT)
+		}
+		if err := model.Validate(); err != nil {
+			return nil, err
+		}
+		var jobs []workload.Job
+		if cfg.Streams != nil {
+			if len(cfg.Streams) != len(cfg.Clusters) {
+				return nil, fmt.Errorf("core: %d streams for %d clusters", len(cfg.Streams), len(cfg.Clusters))
+			}
+			jobs = cfg.Streams[i]
+			for k, j := range jobs {
+				if j.Nodes < 1 || j.Nodes > cs.Nodes {
+					return nil, fmt.Errorf("core: stream %d job %d needs %d nodes on a %d-node cluster", i, k, j.Nodes, cs.Nodes)
+				}
+				if j.Runtime <= 0 || j.Estimate < j.Runtime {
+					return nil, fmt.Errorf("core: stream %d job %d has runtime %v estimate %v", i, k, j.Runtime, j.Estimate)
+				}
+				if j.Arrival < 0 {
+					return nil, fmt.Errorf("core: stream %d job %d arrives at %v", i, k, j.Arrival)
+				}
+			}
+		} else {
+			streamSrc := rng.New(cfg.Seed + uint64(i+1)*0x9E3779B97F4A7C15)
+			jobs = model.GenerateWindow(streamSrc, cfg.Horizon)
+		}
+		if cfg.MaxJobsPerCluster > 0 && len(jobs) > cfg.MaxJobsPerCluster {
+			jobs = jobs[:cfg.MaxJobsPerCluster]
+		}
+		for _, j := range jobs {
+			gj := &gridJob{rec: JobRecord{
+				ID:        nextID,
+				Home:      i,
+				Submit:    j.Arrival,
+				Nodes:     j.Nodes,
+				Runtime:   j.Runtime,
+				Estimate:  j.Estimate,
+				Predicted: math.NaN(),
+			}}
+			nextID++
+			e.jobs = append(e.jobs, gj)
+			job := j
+			home := i
+			e.sim.Schedule(j.Arrival, func() { e.arrive(gj, job, home) })
+		}
+	}
+
+	if cfg.StopAtHorizon {
+		e.sim.RunUntil(cfg.Horizon)
+	} else {
+		e.sim.Run()
+	}
+
+	return e.collect()
+}
+
+const (
+	refNodes           = 128
+	calibrationSeed    = 0xCA11B8A7E
+	calibrationSamples = 200000
+)
+
+// arrive submits a job's request(s) at its arrival time.
+func (e *engine) arrive(gj *gridJob, job workload.Job, home int) {
+	n := len(e.clusters)
+	redundant := e.cfg.Scheme != SchemeNone && n > 1 &&
+		(e.cfg.RedundantFraction >= 1 || e.src.Bernoulli(e.cfg.RedundantFraction))
+	targets := []int{home}
+	if redundant {
+		want := e.cfg.Scheme.Copies(n) - 1
+		targets = append(targets, selectRemotes(e.src, e.cfg.Selection, e.clusters, home, job.Nodes, want)...)
+	}
+	gj.rec.Redundant = redundant && len(targets) > 1
+	gj.rec.Copies = len(targets)
+
+	for _, t := range targets {
+		est := job.Estimate
+		if t != home && e.cfg.InflateRemote > 0 {
+			est *= 1 + e.cfg.InflateRemote
+		}
+		r := &sched.Request{
+			JobID:    gj.rec.ID,
+			Nodes:    job.Nodes,
+			Runtime:  job.Runtime,
+			Estimate: est,
+		}
+		gj.copies = append(gj.copies, r)
+		e.byReq[r] = gj
+		e.clusters[t].Submit(r)
+	}
+}
+
+// onStart fires when any request begins execution: the first copy to
+// start wins, and all other copies are canceled immediately (the
+// paper's callback protocol; no network delay is simulated, per
+// Section 3.1.2).
+func (e *engine) onStart(r *sched.Request) {
+	gj := e.byReq[r]
+	if gj == nil {
+		panic("core: start callback for unknown request")
+	}
+	if gj.winner != nil {
+		panic(fmt.Sprintf("core: job %d started twice (clusters %s and %s)",
+			gj.rec.ID, gj.winner.Cluster().Name, r.Cluster().Name))
+	}
+	gj.winner = r
+	gj.rec.Start = r.Start
+	gj.rec.Winner = r.Cluster().Index
+	for _, c := range gj.copies {
+		if c != r {
+			c.Cluster().Cancel(c)
+		}
+	}
+}
+
+// onFinish fires when the winning copy completes.
+func (e *engine) onFinish(r *sched.Request) {
+	gj := e.byReq[r]
+	if gj == nil || gj.winner != r {
+		panic("core: finish callback for non-winning request")
+	}
+	gj.rec.End = r.End
+}
+
+// collect turns engine state into a Result, verifying that every job
+// ran exactly once.
+func (e *engine) collect() (*Result, error) {
+	res := &Result{
+		Jobs:   make([]JobRecord, 0, len(e.jobs)),
+		Events: e.sim.Processed(),
+	}
+	for _, gj := range e.jobs {
+		if gj.winner == nil || gj.rec.End == 0 {
+			if e.cfg.StopAtHorizon {
+				res.Unfinished++
+				continue
+			}
+			return nil, fmt.Errorf("core: job %d never ran", gj.rec.ID)
+		}
+		if e.cfg.Predict {
+			pred := math.Inf(1)
+			for _, c := range gj.copies {
+				if rsv := c.Reserved; !math.IsNaN(rsv) {
+					if w := rsv - c.Submit; w < pred {
+						pred = w
+					}
+				}
+			}
+			if !math.IsInf(pred, 1) {
+				gj.rec.Predicted = pred
+			}
+		}
+		if gj.rec.End > res.MakeSpan {
+			res.MakeSpan = gj.rec.End
+		}
+		res.Jobs = append(res.Jobs, gj.rec)
+	}
+	for _, c := range e.clusters {
+		res.Clusters = append(res.Clusters, ClusterResult{
+			Name:  c.Name,
+			Nodes: c.Nodes(),
+			Stats: c.Stats(),
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,119 @@
+// Remote-cluster selection policies: how a job picks which remote
+// clusters receive its redundant requests. The paper's default is
+// uniform random selection ("merely reflects the fact that different
+// users have accounts on different clusters"); Table 2 uses a
+// geometrically biased distribution; selection by queue length is the
+// metascheduler-inspired alternative the paper mentions (Section 3.3).
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"redreq/internal/rng"
+	"redreq/internal/sched"
+)
+
+// Selection names a remote-cluster selection policy.
+type Selection int
+
+const (
+	// SelUniform picks remote clusters uniformly at random.
+	SelUniform Selection = iota
+	// SelBiased picks remote clusters with geometrically decreasing
+	// probability: cluster C1 twice as likely as C2, which is twice
+	// as likely as C3, and so on (Table 2).
+	SelBiased
+	// SelQueueLen picks the remote clusters with the shortest
+	// queues, inspired by metascheduler policies [5].
+	SelQueueLen
+)
+
+func (s Selection) String() string {
+	switch s {
+	case SelUniform:
+		return "uniform"
+	case SelBiased:
+		return "biased"
+	case SelQueueLen:
+		return "queuelen"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// ParseSelection converts a policy name to a Selection.
+func ParseSelection(name string) (Selection, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "uniform":
+		return SelUniform, nil
+	case "biased":
+		return SelBiased, nil
+	case "queuelen", "queue":
+		return SelQueueLen, nil
+	}
+	return 0, fmt.Errorf("core: unknown selection policy %q", name)
+}
+
+// selectRemotes returns up to want remote cluster indices for a job
+// with the given node demand submitted at home. Only clusters large
+// enough for the job are eligible; fewer than want indices are
+// returned when eligibility limits the choice.
+func selectRemotes(src *rng.Source, sel Selection, clusters []*sched.Cluster, home, nodes, want int) []int {
+	if want <= 0 {
+		return nil
+	}
+	eligible := make([]int, 0, len(clusters))
+	for i, c := range clusters {
+		if i != home && c.Nodes() >= nodes {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return nil
+	}
+	if want > len(eligible) {
+		want = len(eligible)
+	}
+	switch sel {
+	case SelUniform:
+		src.Shuffle(len(eligible), func(i, j int) {
+			eligible[i], eligible[j] = eligible[j], eligible[i]
+		})
+		return eligible[:want]
+	case SelBiased:
+		// Weight cluster index i by 2^-i; draw without replacement.
+		weights := make([]float64, len(eligible))
+		for k, idx := range eligible {
+			weights[k] = pow2neg(idx)
+		}
+		picked := make([]int, 0, want)
+		for len(picked) < want {
+			k := src.WeightedChoice(weights)
+			picked = append(picked, eligible[k])
+			weights[k] = 0
+		}
+		return picked
+	case SelQueueLen:
+		// Shortest queues first; random tie-break via pre-shuffle.
+		src.Shuffle(len(eligible), func(i, j int) {
+			eligible[i], eligible[j] = eligible[j], eligible[i]
+		})
+		sort.SliceStable(eligible, func(a, b int) bool {
+			return clusters[eligible[a]].QueueLen() < clusters[eligible[b]].QueueLen()
+		})
+		return eligible[:want]
+	default:
+		panic("core: unknown selection policy")
+	}
+}
+
+func pow2neg(i int) float64 {
+	w := 1.0
+	for ; i > 0 && w > 1e-300; i-- {
+		w /= 2
+	}
+	return w
+}

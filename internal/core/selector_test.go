@@ -1,0 +1,163 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"redreq/internal/des"
+	"redreq/internal/rng"
+	"redreq/internal/sched"
+)
+
+func testClusters(t *testing.T, sizes ...int) []*sched.Cluster {
+	t.Helper()
+	sim := des.New()
+	out := make([]*sched.Cluster, len(sizes))
+	for i, n := range sizes {
+		out[i] = sched.NewCluster(sim, "t", i, sched.Config{Nodes: n, Alg: sched.EASY})
+	}
+	return out
+}
+
+func TestSelectUniformExcludesHomeAndSmall(t *testing.T) {
+	clusters := testClusters(t, 128, 16, 128, 64, 128)
+	src := rng.New(1)
+	for trial := 0; trial < 2000; trial++ {
+		got := selectRemotes(src, SelUniform, clusters, 0, 100, 2)
+		if len(got) != 2 {
+			t.Fatalf("got %d remotes, want 2", len(got))
+		}
+		for _, idx := range got {
+			if idx == 0 {
+				t.Fatal("home cluster selected as remote")
+			}
+			if clusters[idx].Nodes() < 100 {
+				t.Fatalf("cluster %d too small for a 100-node job", idx)
+			}
+			// Only clusters 2 and 4 qualify.
+			if idx != 2 && idx != 4 {
+				t.Fatalf("unexpected cluster %d", idx)
+			}
+		}
+		if got[0] == got[1] {
+			t.Fatal("duplicate remote")
+		}
+	}
+}
+
+func TestSelectUniformIsUniform(t *testing.T) {
+	clusters := testClusters(t, 64, 64, 64, 64, 64)
+	src := rng.New(2)
+	counts := make([]int, 5)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		for _, idx := range selectRemotes(src, SelUniform, clusters, 0, 1, 1) {
+			counts[idx]++
+		}
+	}
+	if counts[0] != 0 {
+		t.Fatalf("home selected %d times", counts[0])
+	}
+	for i := 1; i < 5; i++ {
+		frac := float64(counts[i]) / trials
+		if math.Abs(frac-0.25) > 0.02 {
+			t.Errorf("cluster %d picked %.3f of the time, want ~0.25", i, frac)
+		}
+	}
+}
+
+func TestSelectBiasedGeometric(t *testing.T) {
+	clusters := testClusters(t, 64, 64, 64, 64)
+	src := rng.New(3)
+	counts := make([]int, 4)
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		// Home is cluster 3 so clusters 0..2 are eligible with
+		// weights 1, 1/2, 1/4 -> probabilities 4/7, 2/7, 1/7.
+		for _, idx := range selectRemotes(src, SelBiased, clusters, 3, 1, 1) {
+			counts[idx]++
+		}
+	}
+	want := []float64{4.0 / 7, 2.0 / 7, 1.0 / 7, 0}
+	for i := range want {
+		frac := float64(counts[i]) / trials
+		if math.Abs(frac-want[i]) > 0.02 {
+			t.Errorf("cluster %d picked %.3f of the time, want ~%.3f", i, frac, want[i])
+		}
+	}
+}
+
+func TestSelectBiasedWithoutReplacement(t *testing.T) {
+	clusters := testClusters(t, 8, 8, 8, 8)
+	src := rng.New(4)
+	for trial := 0; trial < 1000; trial++ {
+		got := selectRemotes(src, SelBiased, clusters, 0, 1, 3)
+		if len(got) != 3 {
+			t.Fatalf("got %d, want all 3 remotes", len(got))
+		}
+		seen := map[int]bool{}
+		for _, idx := range got {
+			if seen[idx] || idx == 0 {
+				t.Fatalf("bad selection %v", got)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestSelectQueueLenPrefersShortQueues(t *testing.T) {
+	sim := des.New()
+	clusters := make([]*sched.Cluster, 3)
+	for i := range clusters {
+		clusters[i] = sched.NewCluster(sim, "t", i, sched.Config{Nodes: 4, Alg: sched.FCFS})
+	}
+	// Fill cluster 1's queue (cluster 2 stays empty).
+	sim.Schedule(0, func() {
+		for k := 0; k < 5; k++ {
+			clusters[1].Submit(&sched.Request{JobID: int64(k), Nodes: 4, Runtime: 1000, Estimate: 1000})
+		}
+	})
+	sim.RunUntil(1)
+	src := rng.New(5)
+	for trial := 0; trial < 100; trial++ {
+		got := selectRemotes(src, SelQueueLen, clusters, 0, 1, 1)
+		if len(got) != 1 || got[0] != 2 {
+			t.Fatalf("selected %v, want the empty cluster 2", got)
+		}
+	}
+}
+
+func TestSelectNoEligible(t *testing.T) {
+	clusters := testClusters(t, 128, 16, 16)
+	src := rng.New(6)
+	if got := selectRemotes(src, SelUniform, clusters, 0, 100, 3); got != nil {
+		t.Fatalf("selected %v for a job no remote can run", got)
+	}
+	if got := selectRemotes(src, SelUniform, clusters, 0, 1, 0); got != nil {
+		t.Fatalf("want=0 returned %v", got)
+	}
+}
+
+func TestSelectWantClamped(t *testing.T) {
+	clusters := testClusters(t, 64, 64)
+	src := rng.New(7)
+	got := selectRemotes(src, SelUniform, clusters, 0, 1, 5)
+	if len(got) != 1 {
+		t.Fatalf("got %d remotes from a 2-cluster platform", len(got))
+	}
+}
+
+func TestParseSelection(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want Selection
+	}{{"uniform", SelUniform}, {"Biased", SelBiased}, {"queuelen", SelQueueLen}, {"queue", SelQueueLen}} {
+		got, err := ParseSelection(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseSelection(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseSelection("zigzag"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}

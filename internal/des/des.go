@@ -1,0 +1,156 @@
+// Package des is a minimal discrete-event simulation kernel: a virtual
+// clock and a priority queue of timestamped events with deterministic
+// tie-breaking. It substitutes for the SimGrid toolkit used by the
+// paper; since the paper's simulations ignore all network overheads
+// (Section 3.1.2), event-driven process scheduling is the only facility
+// required.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback. Events at equal times fire in
+// (priority, insertion order). A canceled event is skipped when popped.
+type Event struct {
+	Time     float64
+	Priority int
+	Action   func()
+
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// Canceled reports whether the event has been canceled.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority < h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulation is a discrete-event simulation instance. It is not safe
+// for concurrent use; run one Simulation per goroutine.
+type Simulation struct {
+	now       float64
+	queue     eventHeap
+	seq       uint64
+	processed uint64
+}
+
+// New returns a Simulation with the clock at 0.
+func New() *Simulation { return &Simulation{} }
+
+// Now returns the current virtual time in seconds.
+func (s *Simulation) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Simulation) Processed() uint64 { return s.processed }
+
+// Pending returns the number of events currently queued (including
+// canceled events not yet reaped).
+func (s *Simulation) Pending() int { return len(s.queue) }
+
+// Schedule queues action to run at time at with priority 0. Scheduling
+// in the past panics: it indicates a simulation bug.
+func (s *Simulation) Schedule(at float64, action func()) *Event {
+	return s.ScheduleP(at, 0, action)
+}
+
+// ScheduleP queues action to run at time at with an explicit priority;
+// among events with equal time, lower priorities run first, and equal
+// priorities run in insertion order.
+func (s *Simulation) ScheduleP(at float64, priority int, action func()) *Event {
+	if at < s.now {
+		panic("des: scheduling event in the past")
+	}
+	s.seq++
+	e := &Event{Time: at, Priority: priority, Action: action, seq: s.seq, index: -1}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// Cancel marks e so its action will not run. Canceling an already-fired
+// or already-canceled event is a no-op.
+func (s *Simulation) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		e.canceled = true
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.queue, e.index)
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (s *Simulation) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.Time
+		s.processed++
+		e.Action()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulation) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events with Time <= t, then advances the clock to
+// t. Events scheduled beyond t remain queued.
+func (s *Simulation) RunUntil(t float64) {
+	for len(s.queue) > 0 {
+		if s.queue[0].Time > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Peek returns the time of the next non-canceled event and true, or 0
+// and false when the queue is empty.
+func (s *Simulation) Peek() (float64, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].canceled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].Time, true
+	}
+	return 0, false
+}

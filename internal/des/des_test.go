@@ -1,0 +1,176 @@
+package des
+
+import (
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+}
+
+func TestTieBreakByPriorityThenSeq(t *testing.T) {
+	s := New()
+	var order []string
+	s.ScheduleP(5, 1, func() { order = append(order, "p1-first") })
+	s.ScheduleP(5, 0, func() { order = append(order, "p0-a") })
+	s.ScheduleP(5, 0, func() { order = append(order, "p0-b") })
+	s.ScheduleP(5, 2, func() { order = append(order, "p2") })
+	s.Run()
+	want := []string{"p0-a", "p0-b", "p1-first", "p2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func() { fired = true })
+	s.Cancel(e)
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !e.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	// Double-cancel and cancel-after-run are no-ops.
+	s.Cancel(e)
+	e2 := s.Schedule(2, func() {})
+	s.Run()
+	s.Cancel(e2)
+}
+
+func TestCancelFromWithinEvent(t *testing.T) {
+	s := New()
+	fired := false
+	var e2 *Event
+	s.Schedule(1, func() { s.Cancel(e2) })
+	e2 = s.Schedule(2, func() { fired = true })
+	s.Run()
+	if fired {
+		t.Fatal("event canceled by earlier event still fired")
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	s := New()
+	var times []float64
+	s.Schedule(1, func() {
+		s.Schedule(1, func() { times = append(times, s.Now()) }) // same time
+		s.Schedule(5, func() { times = append(times, s.Now()) })
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 5 {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(10, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.Schedule(5, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		s.Schedule(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("fired %v, want 3 events", fired)
+	}
+	if s.Now() != 3 {
+		t.Fatalf("Now = %v, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", s.Pending())
+	}
+	s.RunUntil(10)
+	if len(fired) != 5 || s.Now() != 10 {
+		t.Fatalf("fired %v, now %v", fired, s.Now())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	s := New()
+	if _, ok := s.Peek(); ok {
+		t.Fatal("Peek on empty queue reported an event")
+	}
+	e := s.Schedule(7, func() {})
+	if at, ok := s.Peek(); !ok || at != 7 {
+		t.Fatalf("Peek = %v, %v", at, ok)
+	}
+	s.Cancel(e)
+	if _, ok := s.Peek(); ok {
+		t.Fatal("Peek returned canceled event")
+	}
+}
+
+func TestProcessedCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 10; i++ {
+		s.Schedule(float64(i), func() {})
+	}
+	e := s.Schedule(99, func() {})
+	s.Cancel(e)
+	s.Run()
+	if s.Processed() != 10 {
+		t.Fatalf("Processed = %d, want 10", s.Processed())
+	}
+}
+
+// Randomized: events fire in nondecreasing time order, and all
+// non-canceled events fire exactly once.
+func TestRandomizedOrdering(t *testing.T) {
+	r := rand.New(rand.NewPCG(5, 6))
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		var fired []float64
+		canceled := make(map[int]bool)
+		var events []*Event
+		n := 200
+		for i := 0; i < n; i++ {
+			at := float64(r.IntN(1000))
+			events = append(events, s.Schedule(at, func() { fired = append(fired, at) }))
+		}
+		for i := 0; i < 50; i++ {
+			k := r.IntN(n)
+			if !canceled[k] {
+				canceled[k] = true
+				s.Cancel(events[k])
+			}
+		}
+		s.Run()
+		if len(fired) != n-len(canceled) {
+			t.Fatalf("fired %d, want %d", len(fired), n-len(canceled))
+		}
+		if !sort.Float64sAreSorted(fired) {
+			t.Fatal("events fired out of order")
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package experiment
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"redreq/internal/core"
+	"redreq/internal/metrics"
+)
+
+// tinyOpts keeps unit tests fast: two small clusters' worth of work.
+func tinyOpts() Options {
+	o := Defaults()
+	o.Reps = 2
+	o.Horizon = 900
+	o.Nodes = 32
+	return o
+}
+
+func TestRunMatrixShapeAndDeterminism(t *testing.T) {
+	opts := tinyOpts()
+	v := []variant{
+		{Name: "a", Config: opts.base(2)},
+		{Name: "b", Config: func() core.Config {
+			c := opts.base(2)
+			c.Scheme = core.SchemeR2
+			return c
+		}()},
+	}
+	res1, err := runMatrix(opts, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1) != 2 || len(res1[0]) != opts.Reps {
+		t.Fatalf("matrix shape = %dx%d", len(res1), len(res1[0]))
+	}
+	res2, err := runMatrix(opts, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for vi := range res1 {
+		for ri := range res1[vi] {
+			a := metrics.FromResult(res1[vi][ri], nil)
+			b := metrics.FromResult(res2[vi][ri], nil)
+			if a != b {
+				t.Fatalf("variant %d rep %d not deterministic: %+v vs %+v", vi, ri, a, b)
+			}
+		}
+	}
+	// Paired seeds: both variants see the same job count per rep.
+	for ri := range res1[0] {
+		if len(res1[0][ri].Jobs) != len(res1[1][ri].Jobs) {
+			t.Fatalf("rep %d: variants saw different job streams", ri)
+		}
+	}
+}
+
+func TestRunMatrixProgress(t *testing.T) {
+	opts := tinyOpts()
+	var calls atomic.Int64
+	opts.Progress = func(done, total int) {
+		calls.Add(1)
+		if total != 2*opts.Reps {
+			t.Errorf("total = %d, want %d", total, 2*opts.Reps)
+		}
+	}
+	_, err := runMatrix(opts, []variant{
+		{Name: "a", Config: opts.base(2)},
+		{Name: "b", Config: opts.base(2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != int64(2*opts.Reps) {
+		t.Errorf("progress called %d times", calls.Load())
+	}
+}
+
+func TestRunMatrixRejectsZeroReps(t *testing.T) {
+	opts := tinyOpts()
+	opts.Reps = 0
+	if _, err := runMatrix(opts, nil); err == nil {
+		t.Error("zero reps accepted")
+	}
+}
+
+func TestRunMatrixPropagatesErrors(t *testing.T) {
+	opts := tinyOpts()
+	bad := opts.base(2)
+	bad.RedundantFraction = 99 // invalid
+	if _, err := runMatrix(opts, []variant{{Name: "bad", Config: bad}}); err == nil {
+		t.Error("invalid config did not surface an error")
+	}
+}
+
+func TestSchemesVsNStructure(t *testing.T) {
+	points, err := SchemesVsN(tinyOpts(), []int{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	for _, pt := range points {
+		if len(pt.Schemes) != len(core.Schemes) {
+			t.Fatalf("N=%d has %d schemes", pt.N, len(pt.Schemes))
+		}
+		if pt.BaselineAvgStretch < 1 {
+			t.Errorf("N=%d baseline stretch %v < 1", pt.N, pt.BaselineAvgStretch)
+		}
+		for _, sr := range pt.Schemes {
+			if sr.Rel.AvgStretch <= 0 || sr.Rel.CVStretch <= 0 {
+				t.Errorf("N=%d %v: non-positive relative metrics %+v", pt.N, sr.Scheme, sr.Rel)
+			}
+			if sr.Rel.Reps != 2 {
+				t.Errorf("N=%d %v: reps = %d", pt.N, sr.Scheme, sr.Rel.Reps)
+			}
+		}
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	rows, err := Table1(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 algorithms", len(rows))
+	}
+	for _, r := range rows {
+		for _, v := range []float64{r.AvgStretchExact, r.AvgStretchReal, r.CVStretchesExact, r.CVStretchesReal} {
+			if v <= 0 {
+				t.Errorf("%v: non-positive metric in %+v", r.Alg, r)
+			}
+		}
+	}
+}
+
+func TestFigure4Classes(t *testing.T) {
+	points, err := Figure4(tinyOpts(), []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		switch pt.Fraction {
+		case 0:
+			if pt.RStretch != 0 {
+				t.Errorf("p=0 has r-stretch %v", pt.RStretch)
+			}
+			if pt.NRStretch < 1 {
+				t.Errorf("p=0 n-r stretch %v", pt.NRStretch)
+			}
+		case 1:
+			if pt.RStretch < 1 {
+				t.Errorf("p=1 r stretch %v", pt.RStretch)
+			}
+		default:
+			if pt.RStretch < 1 || pt.NRStretch < 1 {
+				t.Errorf("p=%v classes: r=%v nr=%v", pt.Fraction, pt.RStretch, pt.NRStretch)
+			}
+		}
+	}
+}
+
+func TestTable3HeterogeneousMutate(t *testing.T) {
+	cfg := tinyOpts().base(10)
+	heterogeneousMutate(3, &cfg)
+	sizes := map[int]bool{16: true, 32: true, 64: true, 128: true, 256: true}
+	for i, cs := range cfg.Clusters {
+		if !sizes[cs.Nodes] {
+			t.Errorf("cluster %d has %d nodes", i, cs.Nodes)
+		}
+		if cs.MeanIAT < 2 || cs.MeanIAT >= 20 {
+			t.Errorf("cluster %d iat %v", i, cs.MeanIAT)
+		}
+	}
+	// Same rep gives the same platform; different reps differ.
+	cfg2 := tinyOpts().base(10)
+	heterogeneousMutate(3, &cfg2)
+	same := true
+	for i := range cfg.Clusters {
+		if cfg.Clusters[i] != cfg2.Clusters[i] {
+			same = false
+		}
+	}
+	if !same {
+		t.Error("heterogeneousMutate not deterministic per rep")
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	res, err := Table4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineN == 0 || res.NonRedundantN == 0 || res.RedundantN == 0 {
+		t.Fatalf("empty populations: %+v", res)
+	}
+	// CBF predictions are conservative, so every ratio >= 1 and so
+	// are the averages.
+	if res.BaselineAvg < 1 || res.NonRedundantAvg < 1 || res.RedundantAvg < 1 {
+		t.Errorf("over-prediction averages below 1: %+v", res)
+	}
+}
+
+func TestQueueGrowthStructure(t *testing.T) {
+	opts := tinyOpts()
+	res, err := QueueGrowth(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxQueueNone <= 0 || res.MaxQueueAll <= 0 || res.Ratio <= 0 {
+		t.Fatalf("degenerate result %+v", res)
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	o := Defaults()
+	if o.Reps < 1 || o.Horizon <= 0 || o.Nodes < 1 || o.TargetLoad <= 0 {
+		t.Fatalf("bad defaults %+v", o)
+	}
+	q := Quick()
+	if q.Reps >= o.Reps || q.Horizon >= o.Horizon {
+		t.Errorf("Quick not smaller than Defaults")
+	}
+}
+
+// TestHeadlineFindingRegression pins the paper's headline result in
+// the default calibration: redundant requests improve both the average
+// stretch and the fairness (CV of stretches) of the schedule, relative
+// to no redundancy, on a mid-size platform.
+func TestHeadlineFindingRegression(t *testing.T) {
+	opts := Defaults()
+	opts.Reps = 3
+	opts.Horizon = 1800
+	opts.Nodes = 64
+	points, err := SchemesVsN(opts, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sr := range points[0].Schemes {
+		if sr.Rel.AvgStretch >= 1.02 {
+			t.Errorf("%v: relative average stretch %.3f — redundancy no longer beneficial",
+				sr.Scheme, sr.Rel.AvgStretch)
+		}
+		if sr.Rel.CVStretch >= 1.02 {
+			t.Errorf("%v: relative CV %.3f — fairness no longer improved",
+				sr.Scheme, sr.Rel.CVStretch)
+		}
+	}
+}

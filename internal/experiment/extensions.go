@@ -1,0 +1,183 @@
+// Drivers for the extensions beyond the paper's evaluation: the
+// future-work options (iii) and (iv) of Section 2, and scheduler
+// design-choice ablations.
+
+package experiment
+
+import (
+	"redreq/internal/core"
+	"redreq/internal/metrics"
+	"redreq/internal/moldable"
+	"redreq/internal/multiq"
+	"redreq/internal/sched"
+	"redreq/internal/stats"
+)
+
+// MultiQueueResult compares best-single-queue submission against
+// redundant submission to all eligible queues of one resource
+// (option iii).
+type MultiQueueResult struct {
+	SingleAvgStretch    float64
+	RedundantAvgStretch float64
+	RelAvgStretch       float64
+	// ShortWinsSingle / ShortWinsRedundant are the fractions of jobs
+	// served by the "short" queue under each policy.
+	ShortWinsSingle    float64
+	ShortWinsRedundant float64
+	Reps               int
+}
+
+// MultiQueue runs the option (iii) experiment over opts.Reps seeds.
+func MultiQueue(opts Options) (MultiQueueResult, error) {
+	var singles, reds []float64
+	var shortS, shortR float64
+	for rep := 0; rep < opts.Reps; rep++ {
+		cfg := multiq.ScenarioConfig{
+			Nodes:      opts.Nodes,
+			Queues:     multiq.DefaultQueues(),
+			Seed:       opts.BaseSeed + uint64(rep)*seedStride,
+			Horizon:    opts.Horizon,
+			TargetLoad: opts.TargetLoad,
+			MinRuntime: opts.MinRuntime,
+			MaxRuntime: opts.MaxRuntime,
+		}
+		cfg.Policy = multiq.BestQueue
+		s, err := multiq.RunScenario(cfg)
+		if err != nil {
+			return MultiQueueResult{}, err
+		}
+		cfg.Policy = multiq.RedundantQueues
+		r, err := multiq.RunScenario(cfg)
+		if err != nil {
+			return MultiQueueResult{}, err
+		}
+		singles = append(singles, s.AvgStretch)
+		reds = append(reds, r.AvgStretch)
+		shortS += float64(s.WinsByQueue["short"]) / float64(len(s.Jobs))
+		shortR += float64(r.WinsByQueue["short"]) / float64(len(r.Jobs))
+	}
+	n := float64(opts.Reps)
+	out := MultiQueueResult{
+		SingleAvgStretch:    stats.Mean(singles),
+		RedundantAvgStretch: stats.Mean(reds),
+		ShortWinsSingle:     shortS / n,
+		ShortWinsRedundant:  shortR / n,
+		Reps:                opts.Reps,
+	}
+	var ratios []float64
+	for i := range singles {
+		ratios = append(ratios, reds[i]/singles[i])
+	}
+	out.RelAvgStretch = stats.Mean(ratios)
+	return out, nil
+}
+
+// MoldableResult compares fixed-shape submission against redundant
+// shape variants (option iv).
+type MoldableResult struct {
+	FixedAvgStretch     float64
+	RedundantAvgStretch float64
+	RelAvgStretch       float64
+	// ShapeChangedFrac is the fraction of jobs that ended up running
+	// with a shape different from their base request.
+	ShapeChangedFrac float64
+	Reps             int
+}
+
+// Moldable runs the option (iv) experiment over opts.Reps seeds.
+func Moldable(opts Options) (MoldableResult, error) {
+	var fixed, red, changed []float64
+	for rep := 0; rep < opts.Reps; rep++ {
+		cfg := moldable.ScenarioConfig{
+			Nodes:      opts.Nodes,
+			Alg:        sched.EASY,
+			Seed:       opts.BaseSeed + uint64(rep)*seedStride,
+			Horizon:    opts.Horizon,
+			TargetLoad: opts.TargetLoad,
+			MinRuntime: opts.MinRuntime,
+			MaxRuntime: opts.MaxRuntime,
+		}
+		cfg.Policy = moldable.FixedShape
+		f, err := moldable.RunScenario(cfg)
+		if err != nil {
+			return MoldableResult{}, err
+		}
+		cfg.Policy = moldable.RedundantShapes
+		r, err := moldable.RunScenario(cfg)
+		if err != nil {
+			return MoldableResult{}, err
+		}
+		fixed = append(fixed, f.AvgStretch)
+		red = append(red, r.AvgStretch)
+		changed = append(changed, float64(r.ShapeChanged)/float64(len(r.Jobs)))
+	}
+	out := MoldableResult{
+		FixedAvgStretch:     stats.Mean(fixed),
+		RedundantAvgStretch: stats.Mean(red),
+		ShapeChangedFrac:    stats.Mean(changed),
+		Reps:                opts.Reps,
+	}
+	var ratios []float64
+	for i := range fixed {
+		ratios = append(ratios, red[i]/fixed[i])
+	}
+	out.RelAvgStretch = stats.Mean(ratios)
+	return out, nil
+}
+
+// AblationRow is one scheduler design choice toggled.
+type AblationRow struct {
+	Name          string
+	RelAvgStretch float64 // HALF vs NONE under the ablated scheduler
+	RelCVStretch  float64
+}
+
+// Ablations re-runs the core HALF-vs-NONE comparison (N=10, EASY or
+// CBF as noted) under each design-choice toggle DESIGN.md calls out:
+// no backfilling on cancellation, no CBF compression, compression on
+// cancellation, and queue-length-aware remote selection.
+func Ablations(opts Options) ([]AblationRow, error) {
+	const n = 10
+	type toggle struct {
+		name string
+		mod  func(cfg *core.Config)
+	}
+	toggles := []toggle{
+		{"baseline (EASY, uniform selection)", func(cfg *core.Config) {}},
+		{"no backfill on cancellation", func(cfg *core.Config) { cfg.DisableCancelBackfill = true }},
+		{"CBF", func(cfg *core.Config) { cfg.Alg = sched.CBF }},
+		{"CBF without compression", func(cfg *core.Config) {
+			cfg.Alg = sched.CBF
+			cfg.DisableCompression = true
+		}},
+		{"CBF with compress-on-cancel", func(cfg *core.Config) {
+			cfg.Alg = sched.CBF
+			cfg.CompressOnCancel = true
+		}},
+		{"queue-length-aware selection", func(cfg *core.Config) { cfg.Selection = core.SelQueueLen }},
+	}
+	rows := make([]AblationRow, 0, len(toggles))
+	for _, tg := range toggles {
+		baseCfg := opts.base(n)
+		tg.mod(&baseCfg)
+		halfCfg := baseCfg
+		halfCfg.Scheme = core.SchemeHalf
+		res, err := runMatrix(opts, []variant{
+			{Name: "NONE", Config: baseCfg},
+			{Name: "HALF", Config: halfCfg},
+		})
+		if err != nil {
+			return nil, err
+		}
+		rel, err := metrics.Relativize(samples(res[1], nil), samples(res[0], nil))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name:          tg.name,
+			RelAvgStretch: rel.AvgStretch,
+			RelCVStretch:  rel.CVStretch,
+		})
+	}
+	return rows, nil
+}

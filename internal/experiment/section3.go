@@ -1,0 +1,424 @@
+// Drivers for the Section 3 experiments: Figures 1-4 and Tables 1-3.
+
+package experiment
+
+import (
+	"redreq/internal/core"
+	"redreq/internal/metrics"
+	"redreq/internal/rng"
+	"redreq/internal/sched"
+	"redreq/internal/workload"
+)
+
+// DefaultNs are the platform sizes of Figures 1 and 2.
+var DefaultNs = []int{2, 3, 4, 5, 10, 20}
+
+// SchemeRelative pairs a scheme with its metrics relative to the
+// no-redundancy baseline.
+type SchemeRelative struct {
+	Scheme core.Scheme
+	Rel    metrics.Relative
+}
+
+// VsNPoint is one x-position of Figures 1 and 2: all schemes' relative
+// metrics on an N-cluster platform.
+type VsNPoint struct {
+	N                  int
+	BaselineAvgStretch float64 // absolute, mean over replications
+	Schemes            []SchemeRelative
+}
+
+// SchemesVsN runs the Figure 1 / Figure 2 experiment: N identical
+// 128-node EASY clusters, each scheme relative to no redundancy, for
+// each N in ns.
+func SchemesVsN(opts Options, ns []int) ([]VsNPoint, error) {
+	if len(ns) == 0 {
+		ns = DefaultNs
+	}
+	points := make([]VsNPoint, 0, len(ns))
+	for _, n := range ns {
+		variants := []variant{{Name: "NONE", Config: opts.base(n)}}
+		for _, s := range core.Schemes {
+			cfg := opts.base(n)
+			cfg.Scheme = s
+			variants = append(variants, variant{Name: s.String(), Config: cfg})
+		}
+		res, err := runMatrix(opts, variants)
+		if err != nil {
+			return nil, err
+		}
+		base := samples(res[0], nil)
+		pt := VsNPoint{N: n}
+		for i, s := range core.Schemes {
+			rel, err := metrics.Relativize(samples(res[i+1], nil), base)
+			if err != nil {
+				return nil, err
+			}
+			pt.Schemes = append(pt.Schemes, SchemeRelative{Scheme: s, Rel: rel})
+		}
+		pt.BaselineAvgStretch = meanSample(base, func(s metrics.Sample) float64 { return s.AvgStretch })
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+func meanSample(ss []metrics.Sample, f func(metrics.Sample) float64) float64 {
+	var sum float64
+	for _, s := range ss {
+		sum += f(s)
+	}
+	return sum / float64(len(ss))
+}
+
+// Table1Row is one algorithm's row of Table 1: relative average
+// stretch and relative CV under exact and real (phi-model) estimates,
+// for the HALF scheme on 10 clusters.
+type Table1Row struct {
+	Alg              sched.Algorithm
+	AvgStretchExact  float64
+	AvgStretchReal   float64
+	CVStretchesExact float64
+	CVStretchesReal  float64
+}
+
+// Table1 runs the scheduling-algorithm / estimate-quality experiment.
+func Table1(opts Options) ([]Table1Row, error) {
+	const n = 10
+	rows := make([]Table1Row, 0, 3)
+	for _, alg := range []sched.Algorithm{sched.EASY, sched.CBF, sched.FCFS} {
+		row := Table1Row{Alg: alg}
+		for _, est := range []workload.EstimateMode{workload.Exact, workload.Phi} {
+			baseCfg := opts.base(n)
+			baseCfg.Alg = alg
+			baseCfg.EstMode = est
+			halfCfg := baseCfg
+			halfCfg.Scheme = core.SchemeHalf
+			res, err := runMatrix(opts, []variant{
+				{Name: "NONE", Config: baseCfg},
+				{Name: "HALF", Config: halfCfg},
+			})
+			if err != nil {
+				return nil, err
+			}
+			rel, err := metrics.Relativize(samples(res[1], nil), samples(res[0], nil))
+			if err != nil {
+				return nil, err
+			}
+			if est == workload.Exact {
+				row.AvgStretchExact = rel.AvgStretch
+				row.CVStretchesExact = rel.CVStretch
+			} else {
+				row.AvgStretchReal = rel.AvgStretch
+				row.CVStretchesReal = rel.CVStretch
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table2Row is one scheme's column of Table 2: relative metrics under
+// geometrically biased remote-cluster selection.
+type Table2Row struct {
+	Scheme     core.Scheme
+	AvgStretch float64
+	CVStretch  float64
+}
+
+// Table2 runs the non-uniform redundant request distribution
+// experiment (N=10; schemes R2, R3, R4, HALF; remote clusters picked
+// with probability halving per cluster index).
+func Table2(opts Options) ([]Table2Row, error) {
+	const n = 10
+	schemes := []core.Scheme{core.SchemeR2, core.SchemeR3, core.SchemeR4, core.SchemeHalf}
+	variants := []variant{{Name: "NONE", Config: opts.base(n)}}
+	for _, s := range schemes {
+		cfg := opts.base(n)
+		cfg.Scheme = s
+		cfg.Selection = core.SelBiased
+		variants = append(variants, variant{Name: s.String(), Config: cfg})
+	}
+	res, err := runMatrix(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	base := samples(res[0], nil)
+	rows := make([]Table2Row, 0, len(schemes))
+	for i, s := range schemes {
+		rel, err := metrics.Relativize(samples(res[i+1], nil), base)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table2Row{Scheme: s, AvgStretch: rel.AvgStretch, CVStretch: rel.CVStretch})
+	}
+	return rows, nil
+}
+
+// DefaultIATs are the Figure 3 mean interarrival times in seconds,
+// produced by varying the arrival Gamma's alpha from 4 to 20 at
+// beta=0.49 (Section 3.3).
+var DefaultIATs = []float64{4 * 0.49, 7 * 0.49, 10.23 * 0.49, 13 * 0.49, 16 * 0.49, 20 * 0.49}
+
+// IATPoint is one x-position of Figure 3.
+type IATPoint struct {
+	MeanIAT            float64
+	BaselineAvgStretch float64
+	Schemes            []SchemeRelative
+}
+
+// Figure3 runs the job-interarrival-time sweep on a 10-cluster
+// platform.
+func Figure3(opts Options, iats []float64) ([]IATPoint, error) {
+	const n = 10
+	if len(iats) == 0 {
+		iats = DefaultIATs
+	}
+	points := make([]IATPoint, 0, len(iats))
+	for _, iat := range iats {
+		mk := func(s core.Scheme) core.Config {
+			cfg := opts.base(n)
+			cfg.Scheme = s
+			for i := range cfg.Clusters {
+				cfg.Clusters[i].MeanIAT = iat
+			}
+			return cfg
+		}
+		variants := []variant{{Name: "NONE", Config: mk(core.SchemeNone)}}
+		for _, s := range core.Schemes {
+			variants = append(variants, variant{Name: s.String(), Config: mk(s)})
+		}
+		res, err := runMatrix(opts, variants)
+		if err != nil {
+			return nil, err
+		}
+		base := samples(res[0], nil)
+		pt := IATPoint{MeanIAT: iat}
+		pt.BaselineAvgStretch = meanSample(base, func(s metrics.Sample) float64 { return s.AvgStretch })
+		for i, s := range core.Schemes {
+			rel, err := metrics.Relativize(samples(res[i+1], nil), base)
+			if err != nil {
+				return nil, err
+			}
+			pt.Schemes = append(pt.Schemes, SchemeRelative{Scheme: s, Rel: rel})
+		}
+		points = append(points, pt)
+	}
+	return points, nil
+}
+
+// Table3Row is one scheme's row of Table 3 (heterogeneous platforms).
+type Table3Row struct {
+	Scheme     core.Scheme
+	AvgStretch float64
+	CVStretch  float64
+}
+
+// heterogeneousMutate randomizes a 10-cluster platform per
+// replication: node counts drawn from {16,32,64,128,256} and mean
+// interarrival times uniform in [2s, 20s] (Section 3.3
+// "Heterogeneity").
+func heterogeneousMutate(rep int, cfg *core.Config) {
+	src := rng.New(0xE7E70 ^ uint64(rep)*seedStride)
+	sizes := []int{16, 32, 64, 128, 256}
+	for i := range cfg.Clusters {
+		cfg.Clusters[i].Nodes = sizes[src.IntN(len(sizes))]
+		cfg.Clusters[i].MeanIAT = src.Uniform(2, 20)
+	}
+}
+
+// Table3 runs the heterogeneous-platform experiment: all schemes
+// relative to no redundancy on randomized heterogeneous platforms.
+func Table3(opts Options) ([]Table3Row, error) {
+	const n = 10
+	variants := []variant{{Name: "NONE", Config: opts.base(n), Mutate: heterogeneousMutate}}
+	for _, s := range core.Schemes {
+		cfg := opts.base(n)
+		cfg.Scheme = s
+		variants = append(variants, variant{Name: s.String(), Config: cfg, Mutate: heterogeneousMutate})
+	}
+	res, err := runMatrix(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	base := samples(res[0], nil)
+	rows := make([]Table3Row, 0, len(core.Schemes))
+	for i, s := range core.Schemes {
+		rel, err := metrics.Relativize(samples(res[i+1], nil), base)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Table3Row{Scheme: s, AvgStretch: rel.AvgStretch, CVStretch: rel.CVStretch})
+	}
+	return rows, nil
+}
+
+// DefaultFractions are the Figure 4 x-positions: the percentage of
+// jobs using redundant requests.
+var DefaultFractions = []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+
+// Fig4Point is one (scheme, p) cell of Figure 4: absolute average
+// stretches of jobs using redundancy ("r jobs") and jobs not using it
+// ("n-r jobs"), averaged over replications.
+type Fig4Point struct {
+	Scheme     core.Scheme
+	Fraction   float64
+	RStretch   float64 // NaN-free: 0 when no r jobs exist (p=0)
+	NRStretch  float64 // 0 when no n-r jobs exist (p=1)
+	AllStretch float64
+}
+
+// Figure4 runs the mixed-population experiment on a 10-cluster
+// platform: for each scheme and each fraction p of redundant jobs,
+// the average stretch of each job class. The experiment runs at
+// ContendedLoad regardless of opts.TargetLoad: the unfairness the
+// paper reports is a contention effect (see ContendedLoad).
+func Figure4(opts Options, fractions []float64) ([]Fig4Point, error) {
+	const n = 10
+	opts.TargetLoad = ContendedLoad
+	if len(fractions) == 0 {
+		fractions = DefaultFractions
+	}
+	var points []Fig4Point
+	for _, s := range core.Schemes {
+		for _, p := range fractions {
+			cfg := opts.base(n)
+			if p > 0 {
+				cfg.Scheme = s
+				cfg.RedundantFraction = p
+			}
+			res, err := runMatrix(opts, []variant{{Name: s.String(), Config: cfg}})
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig4Point{Scheme: s, Fraction: p}
+			pt.AllStretch = meanSample(samples(res[0], nil), func(x metrics.Sample) float64 { return x.AvgStretch })
+			if p > 0 {
+				pt.RStretch = meanSample(samples(res[0], metrics.RedundantOnly), func(x metrics.Sample) float64 { return x.AvgStretch })
+			}
+			if p < 1 {
+				pt.NRStretch = meanSample(samples(res[0], metrics.NonRedundantOnly), func(x metrics.Sample) float64 { return x.AvgStretch })
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// QueueGrowthResult reports the Section 4.1 queue-size observation:
+// the average (over clusters and replications) maximum queue length
+// under the ALL scheme versus no redundancy over a 24-hour window.
+type QueueGrowthResult struct {
+	MaxQueueNone float64
+	MaxQueueAll  float64
+	Ratio        float64
+}
+
+// QueueGrowth measures steady-state queue inflation due to redundant
+// requests (the paper finds under 2% for ALL on 10 clusters over 24
+// hours, because redundant copies are canceled when execution starts).
+// The caller chooses the window via opts.Horizon (the paper uses 24h).
+func QueueGrowth(opts Options) (QueueGrowthResult, error) {
+	const n = 10
+	noneCfg := opts.base(n)
+	allCfg := opts.base(n)
+	allCfg.Scheme = core.SchemeAll
+	res, err := runMatrix(opts, []variant{
+		{Name: "NONE", Config: noneCfg},
+		{Name: "ALL", Config: allCfg},
+	})
+	if err != nil {
+		return QueueGrowthResult{}, err
+	}
+	avgMaxQ := func(r *core.Result) float64 {
+		var q float64
+		for _, c := range r.Clusters {
+			q += float64(c.Stats.MaxQueue)
+		}
+		return q / float64(len(r.Clusters))
+	}
+	out := QueueGrowthResult{
+		MaxQueueNone: meanOver(res[0], avgMaxQ),
+		MaxQueueAll:  meanOver(res[1], avgMaxQ),
+	}
+	out.Ratio = out.MaxQueueAll / out.MaxQueueNone
+	return out, nil
+}
+
+// InflationRow is one inflation level of the late-binding ablation.
+type InflationRow struct {
+	Inflate    float64
+	AvgStretch float64 // relative to no redundancy
+	CVStretch  float64
+}
+
+// InflationAblation reproduces the Section 3.1.2 observation: raising
+// the requested compute time of remote redundant copies by 10% or 50%
+// (to cover late input-data binding) does not change the findings.
+func InflationAblation(opts Options) ([]InflationRow, error) {
+	const n = 10
+	variants := []variant{{Name: "NONE", Config: opts.base(n)}}
+	levels := []float64{0, 0.10, 0.50}
+	for _, f := range levels {
+		cfg := opts.base(n)
+		cfg.Scheme = core.SchemeHalf
+		cfg.InflateRemote = f
+		variants = append(variants, variant{Name: "HALF", Config: cfg})
+	}
+	res, err := runMatrix(opts, variants)
+	if err != nil {
+		return nil, err
+	}
+	base := samples(res[0], nil)
+	rows := make([]InflationRow, 0, len(levels))
+	for i, f := range levels {
+		rel, err := metrics.Relativize(samples(res[i+1], nil), base)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, InflationRow{Inflate: f, AvgStretch: rel.AvgStretch, CVStretch: rel.CVStretch})
+	}
+	return rows, nil
+}
+
+// LoadPoint is one offered-load level of the load-sweep ablation.
+type LoadPoint struct {
+	TargetLoad         float64
+	BaselineAvgStretch float64
+	RelAvgStretch      float64 // ALL vs NONE
+}
+
+// LoadSweep is an ablation beyond the paper: it sweeps offered load
+// across the saturation point to expose where redundant requests stop
+// helping (the regime the paper's N<=5 "harmful" cases live in).
+func LoadSweep(opts Options, loads []float64) ([]LoadPoint, error) {
+	const n = 10
+	if len(loads) == 0 {
+		loads = []float64{0.85, 0.90, 0.95, 1.00, 1.05}
+	}
+	points := make([]LoadPoint, 0, len(loads))
+	for _, load := range loads {
+		o := opts
+		o.TargetLoad = load
+		noneCfg := o.base(n)
+		allCfg := o.base(n)
+		allCfg.Scheme = core.SchemeAll
+		res, err := runMatrix(o, []variant{
+			{Name: "NONE", Config: noneCfg},
+			{Name: "ALL", Config: allCfg},
+		})
+		if err != nil {
+			return nil, err
+		}
+		base := samples(res[0], nil)
+		rel, err := metrics.Relativize(samples(res[1], nil), base)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, LoadPoint{
+			TargetLoad:         load,
+			BaselineAvgStretch: meanSample(base, func(s metrics.Sample) float64 { return s.AvgStretch }),
+			RelAvgStretch:      rel.AvgStretch,
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,184 @@
+// Driver for the Section 4 system-load analysis: measure the real
+// batch scheduler daemon and the real middleware stack, then derive
+// the paper's bounds on tolerable request redundancy.
+
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"redreq/internal/middleware"
+	"redreq/internal/pbsd"
+)
+
+// Section4Options configures the load measurements.
+type Section4Options struct {
+	// QueueSizes are the Figure 5 x-positions (default
+	// pbsd.DefaultQueueSizes).
+	QueueSizes []int
+	// BoundQueueSize selects the queue depth at which the Section
+	// 4.1 bound is evaluated (the paper uses 10,000).
+	BoundQueueSize int
+	// Clients is the number of concurrent saturating clients.
+	Clients int
+	// Window is the measurement window per point.
+	Window time.Duration
+	// IAT is the mean job interarrival time for the r bounds (the
+	// paper's peak-hour 5.01 s).
+	IAT float64
+	// StateDir holds the middleware's durable state (a temporary
+	// directory when empty).
+	StateDir string
+}
+
+// Section4Result aggregates the Section 4 measurements.
+type Section4Result struct {
+	// Scheduler is the Figure 5 sweep.
+	Scheduler []pbsd.SaturationResult
+	// SchedulerBound is r < iat * pair-rate at BoundQueueSize.
+	SchedulerBound int
+	// MarshalPerSec is the [20]-style round-trip rate for the
+	// 30,000-record payload.
+	MarshalPerSec float64
+	// Middleware holds transaction rates: in-memory, durable, and
+	// full GRAM-like (durable + security).
+	Middleware []middleware.RateResult
+	// MiddlewareBound is the bound implied by the slowest middleware
+	// mode.
+	MiddlewareBound int
+	// Bottleneck names the slower layer ("scheduler" or
+	// "middleware"), the paper's Section 4 conclusion.
+	Bottleneck string
+}
+
+// Section4 runs the full system-load analysis. It is wall-clock
+// bounded by roughly (len(QueueSizes)+3) * Window plus queue preload
+// time.
+func Section4(opts Section4Options) (*Section4Result, error) {
+	if opts.Clients < 1 {
+		opts.Clients = 2
+	}
+	if opts.Window <= 0 {
+		opts.Window = time.Second
+	}
+	if opts.IAT <= 0 {
+		opts.IAT = 5.01
+	}
+	if len(opts.QueueSizes) == 0 {
+		opts.QueueSizes = pbsd.DefaultQueueSizes
+	}
+	if opts.BoundQueueSize == 0 {
+		opts.BoundQueueSize = 10000
+	}
+
+	out := &Section4Result{}
+
+	// (1) Figure 5: scheduler throughput vs queue size.
+	sweep, err := pbsd.Sweep(opts.QueueSizes, opts.Clients, opts.Window, true)
+	if err != nil {
+		return nil, err
+	}
+	out.Scheduler = sweep
+	at := sweep[len(sweep)-1]
+	for _, r := range sweep {
+		if r.QueueSize == opts.BoundQueueSize {
+			at = r
+		}
+	}
+	out.SchedulerBound = pbsd.LoadBound(at.PairRate, opts.IAT)
+
+	// (2) Raw marshalling (the gSOAP measurement of [20]).
+	payload := middleware.NewTripleArray(30000)
+	n := 0
+	start := time.Now()
+	for time.Since(start) < opts.Window {
+		raw, err := middleware.MarshalTriples(payload)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := middleware.UnmarshalTriples(raw); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	out.MarshalPerSec = float64(n) / time.Since(start).Seconds()
+
+	// (3) Middleware transaction rates in each fidelity mode.
+	modes := []struct{ durable, security bool }{
+		{false, false}, {true, false}, {true, true},
+	}
+	for _, m := range modes {
+		rate, err := measureMiddleware(opts, m.durable, m.security)
+		if err != nil {
+			return nil, err
+		}
+		out.Middleware = append(out.Middleware, rate)
+	}
+	slowest := out.Middleware[len(out.Middleware)-1]
+	out.MiddlewareBound = pbsd.LoadBound(slowest.PairRate, opts.IAT)
+	if out.MiddlewareBound < out.SchedulerBound {
+		out.Bottleneck = "middleware"
+	} else {
+		out.Bottleneck = "scheduler"
+	}
+	return out, nil
+}
+
+func measureMiddleware(opts Section4Options, durable, security bool) (middleware.RateResult, error) {
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		return middleware.RateResult{}, err
+	}
+	defer backend.Close()
+	stateDir := opts.StateDir
+	if durable && stateDir == "" {
+		dir, err := os.MkdirTemp("", "section4-state")
+		if err != nil {
+			return middleware.RateResult{}, err
+		}
+		defer os.RemoveAll(dir)
+		stateDir = dir
+	}
+	svc, err := middleware.NewService(middleware.ServiceConfig{
+		Durable:  durable,
+		Security: security,
+		StateDir: stateDir,
+		Backend:  backend,
+	})
+	if err != nil {
+		return middleware.RateResult{}, err
+	}
+	defer svc.Close()
+	ep, err := middleware.Start(svc, "127.0.0.1:0")
+	if err != nil {
+		return middleware.RateResult{}, err
+	}
+	defer ep.Close()
+	// Monopolize the pool so saturation submissions stay cancelable,
+	// as the paper's long blocker job does.
+	cl := middleware.NewClient(ep.URL, "section4")
+	if _, err := cl.Submit("blocker", 16, 24*time.Hour); err != nil {
+		return middleware.RateResult{}, err
+	}
+	return middleware.MeasureRate(ep.URL, opts.Clients, opts.Window, durable)
+}
+
+// String renders the result in the shape of the paper's Section 4
+// discussion.
+func (r *Section4Result) String() string {
+	s := "Section 4: system load\n"
+	for _, p := range r.Scheduler {
+		s += fmt.Sprintf("  scheduler @ queue %6d: %8.1f pairs/s\n", p.QueueSize, p.PairRate)
+	}
+	s += fmt.Sprintf("  scheduler bound: r < %d\n", r.SchedulerBound)
+	s += fmt.Sprintf("  raw marshalling: %.1f round-trips/s (30k-record payload)\n", r.MarshalPerSec)
+	labels := []string{"in-memory", "durable", "durable+security"}
+	for i, m := range r.Middleware {
+		s += fmt.Sprintf("  middleware %-17s %8.1f pairs/s\n", labels[i]+":", m.PairRate)
+	}
+	s += fmt.Sprintf("  middleware bound: r < %d\n", r.MiddlewareBound)
+	s += fmt.Sprintf("  bottleneck: %s\n", r.Bottleneck)
+	return s
+}

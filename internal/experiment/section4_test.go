@@ -1,0 +1,43 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSection4Smoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	res, err := Section4(Section4Options{
+		QueueSizes:     []int{0, 2000},
+		BoundQueueSize: 2000,
+		Clients:        2,
+		Window:         150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scheduler) != 2 {
+		t.Fatalf("sweep points = %d", len(res.Scheduler))
+	}
+	if res.Scheduler[0].PairRate <= 0 || res.MarshalPerSec <= 0 {
+		t.Fatalf("degenerate rates: %+v", res)
+	}
+	if len(res.Middleware) != 3 {
+		t.Fatalf("middleware modes = %d", len(res.Middleware))
+	}
+	if res.SchedulerBound <= 0 || res.MiddlewareBound <= 0 {
+		t.Fatalf("bounds: %d / %d", res.SchedulerBound, res.MiddlewareBound)
+	}
+	if res.Bottleneck != "scheduler" && res.Bottleneck != "middleware" {
+		t.Fatalf("bottleneck = %q", res.Bottleneck)
+	}
+	out := res.String()
+	for _, want := range []string{"scheduler bound", "middleware bound", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"redreq/internal/core"
+	"redreq/internal/sched"
+)
+
+// mkResult builds a Result with hand-crafted job timelines.
+func mkResult(jobs []core.JobRecord) *core.Result {
+	return &core.Result{Jobs: jobs, Clusters: []core.ClusterResult{{Name: "C1", Nodes: 4}}}
+}
+
+func job(sub, start, end float64, redundant bool) core.JobRecord {
+	return core.JobRecord{
+		Submit: sub, Start: start, End: end,
+		Runtime: end - start, Nodes: 1, Redundant: redundant,
+		Predicted: math.NaN(),
+	}
+}
+
+func TestFromResultBasic(t *testing.T) {
+	res := mkResult([]core.JobRecord{
+		job(0, 0, 100, false),   // stretch 1
+		job(0, 100, 200, false), // wait 100, runtime 100: stretch 2
+	})
+	s := FromResult(res, nil)
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.AvgStretch != 1.5 {
+		t.Errorf("AvgStretch = %v, want 1.5", s.AvgStretch)
+	}
+	if s.MaxStretch != 2 {
+		t.Errorf("MaxStretch = %v, want 2", s.MaxStretch)
+	}
+	if s.AvgWait != 50 {
+		t.Errorf("AvgWait = %v, want 50", s.AvgWait)
+	}
+	if s.AvgTurnaround != 150 {
+		t.Errorf("AvgTurnaround = %v, want 150", s.AvgTurnaround)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	res := mkResult([]core.JobRecord{
+		job(0, 0, 10, true),
+		job(0, 10, 20, false),
+		job(0, 20, 30, true),
+	})
+	if s := FromResult(res, RedundantOnly); s.N != 2 {
+		t.Errorf("redundant N = %d, want 2", s.N)
+	}
+	if s := FromResult(res, NonRedundantOnly); s.N != 1 {
+		t.Errorf("non-redundant N = %d, want 1", s.N)
+	}
+	if got := len(Stretches(res.Jobs, RedundantOnly)); got != 2 {
+		t.Errorf("Stretches(redundant) = %d values", got)
+	}
+}
+
+func TestRelativize(t *testing.T) {
+	scheme := []Sample{
+		{AvgStretch: 2, CVStretch: 50, MaxStretch: 10, AvgTurnaround: 100},
+		{AvgStretch: 3, CVStretch: 60, MaxStretch: 20, AvgTurnaround: 200},
+	}
+	baseline := []Sample{
+		{AvgStretch: 4, CVStretch: 100, MaxStretch: 40, AvgTurnaround: 200},
+		{AvgStretch: 2, CVStretch: 30, MaxStretch: 10, AvgTurnaround: 100},
+	}
+	rel, err := Relativize(scheme, baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (0.5 + 1.5) / 2; rel.AvgStretch != want {
+		t.Errorf("AvgStretch = %v, want %v", rel.AvgStretch, want)
+	}
+	if rel.WinFraction != 0.5 {
+		t.Errorf("WinFraction = %v, want 0.5", rel.WinFraction)
+	}
+	if rel.WorstLoss != 0.5 {
+		t.Errorf("WorstLoss = %v, want 0.5", rel.WorstLoss)
+	}
+	if rel.Reps != 2 {
+		t.Errorf("Reps = %d", rel.Reps)
+	}
+	if rel.CVOverReps <= 0 {
+		t.Errorf("CVOverReps = %v, want > 0", rel.CVOverReps)
+	}
+}
+
+func TestRelativizeErrors(t *testing.T) {
+	if _, err := Relativize(nil, nil); err == nil {
+		t.Error("empty replications not rejected")
+	}
+	_, err := Relativize([]Sample{{AvgStretch: 1}}, []Sample{{}})
+	if err == nil {
+		t.Error("zero baseline not rejected")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	Relativize([]Sample{{}}, []Sample{{}, {}})
+}
+
+func TestPredictions(t *testing.T) {
+	jobs := []core.JobRecord{
+		job(0, 100, 200, false), // wait 100
+		job(0, 50, 60, true),    // wait 50
+		job(0, 0.5, 10, false),  // wait below MinEffectiveWait: skipped
+		job(0, 100, 110, false), // no prediction: skipped
+	}
+	jobs[0].Predicted = 200 // ratio 2
+	jobs[1].Predicted = 200 // ratio 4
+	jobs[2].Predicted = 5
+	res := mkResult(jobs)
+	ps := Predictions(res, nil, 1.0)
+	if ps.N != 2 || ps.Skipped != 2 {
+		t.Fatalf("N = %d skipped = %d, want 2/2", ps.N, ps.Skipped)
+	}
+	if ps.Avg != 3 {
+		t.Errorf("Avg = %v, want 3", ps.Avg)
+	}
+	only := Predictions(res, RedundantOnly, 1.0)
+	if only.N != 1 || only.Avg != 4 {
+		t.Errorf("redundant-only = %+v", only)
+	}
+}
+
+func TestMaxQueueAveraging(t *testing.T) {
+	res := &core.Result{
+		Jobs: []core.JobRecord{job(0, 0, 10, false)},
+		Clusters: []core.ClusterResult{
+			{Name: "C1", Stats: clusterStats(10)},
+			{Name: "C2", Stats: clusterStats(30)},
+		},
+	}
+	s := FromResult(res, nil)
+	if s.MaxQueue != 20 {
+		t.Errorf("MaxQueue = %v, want 20", s.MaxQueue)
+	}
+}
+
+func clusterStats(maxQ int) sched.Stats {
+	return sched.Stats{MaxQueue: maxQ}
+}

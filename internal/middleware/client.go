@@ -1,0 +1,159 @@
+// Client side of the middleware service, plus the transaction-rate
+// measurement used by Section 4.2.
+
+package middleware
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client submits and cancels jobs through a middleware endpoint.
+type Client struct {
+	base string
+	http *http.Client
+	seq  atomic.Int64
+	name string
+}
+
+// NewClient builds a client for the endpoint base URL.
+func NewClient(baseURL, sender string) *Client {
+	return &Client{
+		base: baseURL,
+		http: &http.Client{Timeout: 30 * time.Second},
+		name: sender,
+	}
+}
+
+func (c *Client) call(body Body) (*Response, error) {
+	env := &Envelope{
+		Header: Header{
+			MessageID: fmt.Sprintf("%s-%d", c.name, c.seq.Add(1)),
+			Sender:    c.name,
+		},
+		Body: body,
+	}
+	raw, err := Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Post(c.base+"/gram", "text/xml", bytes.NewReader(raw))
+	if err != nil {
+		return nil, fmt.Errorf("middleware: post: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("middleware: read response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("middleware: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var r Response
+	if err := xml.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("middleware: decode response: %w", err)
+	}
+	if !r.OK {
+		return nil, fmt.Errorf("middleware: service error: %s", r.Error)
+	}
+	return &r, nil
+}
+
+// Submit sends a SubmitJob operation and returns the job ID.
+func (c *Client) Submit(name string, nodes int, walltime time.Duration) (int64, error) {
+	r, err := c.call(Body{Submit: &SubmitJob{
+		Name: name, Nodes: nodes, Walltime: walltime.Seconds(),
+		Arguments: []string{"--input", "data.bin"},
+	}})
+	if err != nil {
+		return 0, err
+	}
+	return r.JobID, nil
+}
+
+// Cancel sends a CancelJob operation.
+func (c *Client) Cancel(id int64) error {
+	_, err := c.call(Body{Cancel: &CancelJob{JobID: id}})
+	return err
+}
+
+// Stat queries daemon state through the middleware.
+func (c *Client) Stat() (queued, running, free int, err error) {
+	r, err := c.call(Body{Status: &JobStatus{}})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r.Queued, r.Running, r.Free, nil
+}
+
+// RateResult is one transaction-rate measurement.
+type RateResult struct {
+	Durable      bool
+	Transactions int64
+	Elapsed      time.Duration
+	PerSecond    float64
+	// PairRate is matched submit+cancel pairs per second, comparable
+	// with the pbsd harness and the paper's "0.5 submissions and 0.5
+	// cancellations per second" GRAM figure.
+	PairRate float64
+}
+
+// MeasureRate drives concurrent submit+cancel pairs through the
+// endpoint for the given duration and reports sustained throughput.
+func MeasureRate(url string, clients int, dur time.Duration, durable bool) (RateResult, error) {
+	if clients < 1 {
+		clients = 2
+	}
+	var (
+		tx   atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		werr error
+	)
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := NewClient(url, fmt.Sprintf("bench-%d", w))
+			for !stop.Load() {
+				id, err := cl.Submit("tx", 1, time.Hour)
+				if err == nil {
+					err = cl.Cancel(id)
+				}
+				if err != nil {
+					mu.Lock()
+					if werr == nil {
+						werr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				tx.Add(2)
+			}
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if werr != nil {
+		return RateResult{}, werr
+	}
+	res := RateResult{
+		Durable:      durable,
+		Transactions: tx.Load(),
+		Elapsed:      elapsed,
+		PerSecond:    float64(tx.Load()) / elapsed.Seconds(),
+	}
+	res.PairRate = res.PerSecond / 2
+	return res, nil
+}

@@ -1,0 +1,162 @@
+// Package middleware is a real grid-middleware stack standing in for
+// the Globus WS-GRAM / gSOAP measurements of Section 4.2: an XML
+// (SOAP-style) message layer and an HTTP job-submission service
+// layered above the pbsd batch scheduler daemon. The paper's argument
+// needs two measured regimes — raw message marshalling (fast, the
+// gSOAP result of [20]) and full middleware transactions with
+// persistent service state (orders of magnitude slower, the WS-GRAM
+// result of [23]) — from which it derives the tolerable number of
+// redundant requests per job. Both regimes are measurable here.
+package middleware
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+)
+
+// Envelope is the SOAP-style message wrapper.
+type Envelope struct {
+	XMLName xml.Name `xml:"Envelope"`
+	Header  Header   `xml:"Header"`
+	Body    Body     `xml:"Body"`
+}
+
+// Header carries message metadata.
+type Header struct {
+	MessageID string `xml:"MessageID"`
+	Sender    string `xml:"Sender"`
+}
+
+// Body holds exactly one operation.
+type Body struct {
+	Submit *SubmitJob `xml:"SubmitJob,omitempty"`
+	Cancel *CancelJob `xml:"CancelJob,omitempty"`
+	Status *JobStatus `xml:"JobStatus,omitempty"`
+}
+
+// SubmitJob requests execution of a job.
+type SubmitJob struct {
+	Name     string  `xml:"Name"`
+	Nodes    int     `xml:"Nodes"`
+	Walltime float64 `xml:"WalltimeSeconds"`
+	// Arguments model the job description payload.
+	Arguments []string `xml:"Arguments>Arg"`
+}
+
+// CancelJob withdraws a pending job.
+type CancelJob struct {
+	JobID int64 `xml:"JobID"`
+}
+
+// JobStatus queries daemon state.
+type JobStatus struct{}
+
+// Response is the service reply.
+type Response struct {
+	XMLName xml.Name `xml:"Response"`
+	OK      bool     `xml:"OK"`
+	JobID   int64    `xml:"JobID,omitempty"`
+	Error   string   `xml:"Error,omitempty"`
+	Queued  int      `xml:"Queued,omitempty"`
+	Running int      `xml:"Running,omitempty"`
+	Free    int      `xml:"Free,omitempty"`
+}
+
+// Marshal encodes an envelope as XML.
+func Marshal(e *Envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	if err := enc.Encode(e); err != nil {
+		return nil, fmt.Errorf("middleware: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes an envelope and validates it structurally.
+func Unmarshal(r io.Reader) (*Envelope, error) {
+	var e Envelope
+	if err := xml.NewDecoder(r).Decode(&e); err != nil {
+		return nil, fmt.Errorf("middleware: unmarshal: %w", err)
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// Validate checks that the envelope carries exactly one well-formed
+// operation.
+func (e *Envelope) Validate() error {
+	ops := 0
+	if e.Body.Submit != nil {
+		ops++
+		s := e.Body.Submit
+		if s.Nodes < 1 {
+			return fmt.Errorf("middleware: SubmitJob.Nodes %d < 1", s.Nodes)
+		}
+		if s.Walltime <= 0 {
+			return fmt.Errorf("middleware: SubmitJob.Walltime %v <= 0", s.Walltime)
+		}
+	}
+	if e.Body.Cancel != nil {
+		ops++
+		if e.Body.Cancel.JobID < 1 {
+			return fmt.Errorf("middleware: CancelJob.JobID %d < 1", e.Body.Cancel.JobID)
+		}
+	}
+	if e.Body.Status != nil {
+		ops++
+	}
+	if ops != 1 {
+		return fmt.Errorf("middleware: envelope must carry exactly one operation, has %d", ops)
+	}
+	return nil
+}
+
+// Triple is the record of the gSOAP benchmark of [20]: two integers
+// and one double-precision number.
+type Triple struct {
+	A int     `xml:"a"`
+	B int     `xml:"b"`
+	X float64 `xml:"x"`
+}
+
+// TripleArray is the [20] benchmark payload: an array of 30,000
+// Triples, over 450 KB when serialized — "many more bytes than needed
+// for a batch request submission".
+type TripleArray struct {
+	XMLName xml.Name `xml:"TripleArray"`
+	Items   []Triple `xml:"Item"`
+}
+
+// NewTripleArray builds the canonical n-element payload.
+func NewTripleArray(n int) *TripleArray {
+	ta := &TripleArray{Items: make([]Triple, n)}
+	for i := range ta.Items {
+		ta.Items[i] = Triple{A: i, B: i * 2, X: float64(i) * 0.5}
+	}
+	return ta
+}
+
+// MarshalTriples serializes the payload (the [20] marshalling
+// direction).
+func MarshalTriples(ta *TripleArray) ([]byte, error) {
+	b, err := xml.Marshal(ta)
+	if err != nil {
+		return nil, fmt.Errorf("middleware: marshal triples: %w", err)
+	}
+	return b, nil
+}
+
+// UnmarshalTriples deserializes the payload (the [20] unmarshalling
+// direction).
+func UnmarshalTriples(b []byte) (*TripleArray, error) {
+	var ta TripleArray
+	if err := xml.Unmarshal(b, &ta); err != nil {
+		return nil, fmt.Errorf("middleware: unmarshal triples: %w", err)
+	}
+	return &ta, nil
+}

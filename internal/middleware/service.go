@@ -1,0 +1,247 @@
+// The middleware service: an HTTP endpoint that accepts XML job
+// operations, optionally persists per-transaction service state (as
+// WS-GRAM does — the dominant cost that made GRAM the system
+// bottleneck in [23]), and drives the pbsd daemon.
+
+package middleware
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/xml"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"redreq/internal/pbsd"
+)
+
+// ServiceConfig configures the middleware service.
+type ServiceConfig struct {
+	// Durable persists per-transaction service state the way WS-GRAM
+	// does for each job: a freshly created state file, fsync'd and
+	// atomically renamed into place. Without it, transactions are
+	// limited by parsing, dispatch, and scheduler work only.
+	Durable bool
+	// Security enables GSI-like message-level security: each
+	// transaction's digest is RSA-signed and the signature verified,
+	// modeling credential handling (a dominant WS-GRAM cost).
+	Security bool
+	// StateDir is where durable state records are written (required
+	// when Durable).
+	StateDir string
+	// Backend is the batch scheduler daemon operated by the service.
+	Backend *pbsd.Server
+}
+
+// Service is the HTTP middleware service.
+type Service struct {
+	cfg     ServiceConfig
+	mux     *http.ServeMux
+	txCount atomic.Int64
+
+	mu       sync.Mutex
+	stateSeq int64
+
+	key *rsa.PrivateKey
+}
+
+// NewService builds the service; the caller owns the backend's
+// lifetime.
+func NewService(cfg ServiceConfig) (*Service, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("middleware: nil backend")
+	}
+	s := &Service{cfg: cfg, mux: http.NewServeMux()}
+	if cfg.Durable {
+		if cfg.StateDir == "" {
+			return nil, fmt.Errorf("middleware: Durable requires StateDir")
+		}
+		if err := os.MkdirAll(cfg.StateDir, 0o755); err != nil {
+			return nil, fmt.Errorf("middleware: state dir: %w", err)
+		}
+	}
+	if cfg.Security {
+		key, err := rsa.GenerateKey(rand.Reader, 2048)
+		if err != nil {
+			return nil, fmt.Errorf("middleware: key generation: %w", err)
+		}
+		s.key = key
+	}
+	s.mux.HandleFunc("/gram", s.handleGRAM)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s, nil
+}
+
+// Transactions returns the number of completed transactions.
+func (s *Service) Transactions() int64 { return s.txCount.Load() }
+
+// Handler exposes the service's HTTP handler.
+func (s *Service) Handler() http.Handler { return s.mux }
+
+// Close releases service resources.
+func (s *Service) Close() error { return nil }
+
+func (s *Service) handleGRAM(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	env, err := Unmarshal(r.Body)
+	if err != nil {
+		s.reply(w, &Response{OK: false, Error: err.Error()})
+		return
+	}
+	resp := s.execute(env)
+	s.reply(w, resp)
+	s.txCount.Add(1)
+}
+
+func (s *Service) execute(env *Envelope) *Response {
+	if s.cfg.Security {
+		if err := s.authorize(env); err != nil {
+			return &Response{OK: false, Error: err.Error()}
+		}
+	}
+	switch {
+	case env.Body.Submit != nil:
+		op := env.Body.Submit
+		if s.cfg.Durable {
+			if err := s.persist("submit", env); err != nil {
+				return &Response{OK: false, Error: err.Error()}
+			}
+		}
+		id, err := s.cfg.Backend.Submit(op.Name, op.Nodes,
+			time.Duration(op.Walltime*float64(time.Second)))
+		if err != nil {
+			return &Response{OK: false, Error: err.Error()}
+		}
+		return &Response{OK: true, JobID: id}
+	case env.Body.Cancel != nil:
+		if s.cfg.Durable {
+			if err := s.persist("cancel", env); err != nil {
+				return &Response{OK: false, Error: err.Error()}
+			}
+		}
+		if err := s.cfg.Backend.Delete(env.Body.Cancel.JobID); err != nil {
+			return &Response{OK: false, Error: err.Error()}
+		}
+		return &Response{OK: true}
+	case env.Body.Status != nil:
+		q, run, free := s.cfg.Backend.Stat()
+		return &Response{OK: true, Queued: q, Running: run, Free: free}
+	default:
+		return &Response{OK: false, Error: "no operation"}
+	}
+}
+
+// authorize performs GSI-like message-level security work: it signs
+// the transaction digest with the service credential and verifies the
+// signature, the per-message public-key operations that dominate
+// WS-GRAM's request path.
+func (s *Service) authorize(env *Envelope) error {
+	raw, err := Marshal(env)
+	if err != nil {
+		return err
+	}
+	digest := sha256.Sum256(raw)
+	sig, err := rsa.SignPKCS1v15(rand.Reader, s.key, crypto.SHA256, digest[:])
+	if err != nil {
+		return fmt.Errorf("middleware: sign: %w", err)
+	}
+	if err := rsa.VerifyPKCS1v15(&s.key.PublicKey, crypto.SHA256, digest[:], sig); err != nil {
+		return fmt.Errorf("middleware: verify: %w", err)
+	}
+	return nil
+}
+
+// persist writes one durable state record the way GRAM persists job
+// state: a new file per transaction, written, fsync'd, and atomically
+// renamed into place.
+func (s *Service) persist(op string, env *Envelope) error {
+	raw, err := Marshal(env)
+	if err != nil {
+		return err
+	}
+	sum := sha256.Sum256(raw)
+	s.mu.Lock()
+	s.stateSeq++
+	seq := s.stateSeq
+	s.mu.Unlock()
+	tmp := filepath.Join(s.cfg.StateDir, fmt.Sprintf(".job-%d.tmp", seq))
+	final := filepath.Join(s.cfg.StateDir, fmt.Sprintf("job-%d.state", seq))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("middleware: persist: %w", err)
+	}
+	if _, err := fmt.Fprintf(f, "%d %s %s %d\n", seq, op, hex.EncodeToString(sum[:8]), len(raw)); err != nil {
+		f.Close()
+		return fmt.Errorf("middleware: persist write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("middleware: persist sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("middleware: persist close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("middleware: persist rename: %w", err)
+	}
+	return nil
+}
+
+func (s *Service) reply(w http.ResponseWriter, resp *Response) {
+	w.Header().Set("Content-Type", "text/xml")
+	out, err := xml.Marshal(resp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(out)
+}
+
+// Endpoint serves the middleware over a real TCP socket and returns
+// its base URL; close the returned server to stop it.
+type Endpoint struct {
+	URL    string
+	server *http.Server
+	ln     net.Listener
+	done   chan struct{}
+}
+
+// Start listens on addr (e.g. "127.0.0.1:0") and serves svc.
+func Start(svc *Service, addr string) (*Endpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("middleware: listen: %w", err)
+	}
+	ep := &Endpoint{
+		URL:    "http://" + ln.Addr().String(),
+		server: &http.Server{Handler: svc.Handler()},
+		ln:     ln,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(ep.done)
+		ep.server.Serve(ln)
+	}()
+	return ep, nil
+}
+
+// Close stops the endpoint.
+func (ep *Endpoint) Close() error {
+	err := ep.server.Close()
+	<-ep.done
+	return err
+}

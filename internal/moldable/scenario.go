@@ -1,0 +1,207 @@
+// Scenario runner: a workload of moldable jobs over one EASY cluster,
+// with and without redundant shape variants (option iv of Section 2).
+
+package moldable
+
+import (
+	"fmt"
+	"math"
+
+	"redreq/internal/des"
+	"redreq/internal/rng"
+	"redreq/internal/sched"
+	"redreq/internal/stats"
+	"redreq/internal/workload"
+)
+
+// Policy selects how moldable jobs request nodes.
+type Policy int
+
+const (
+	// FixedShape submits only the job's base shape (the rigid-job
+	// behaviour every other experiment uses).
+	FixedShape Policy = iota
+	// RedundantShapes submits the base shape plus narrower and wider
+	// power-of-two variants to the same queue, canceling the losers
+	// when one starts.
+	RedundantShapes
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FixedShape:
+		return "fixed-shape"
+	case RedundantShapes:
+		return "redundant-shapes"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ScenarioConfig configures one run.
+type ScenarioConfig struct {
+	Nodes   int
+	Alg     sched.Algorithm
+	Policy  Policy
+	Seed    uint64
+	Horizon float64
+	// ExtraShapes bounds how many halving/doubling steps are offered
+	// around the base shape (RedundantShapes only).
+	ExtraShapes int
+	// MinEfficiency drops variants whose parallel efficiency falls
+	// below it.
+	MinEfficiency float64
+	// TargetLoad, MinRuntime, MaxRuntime calibrate the workload.
+	TargetLoad float64
+	MinRuntime float64
+	MaxRuntime float64
+}
+
+// JobOutcome records one moldable job's result.
+type JobOutcome struct {
+	ID         int64
+	Submit     float64
+	BaseNodes  int
+	WonNodes   int     // nodes of the winning shape
+	WonRuntime float64 // execution time of the winning shape
+	Start, End float64
+	Copies     int
+}
+
+// Stretch returns turnaround divided by the base-shape execution time,
+// so shape choices that trade nodes for time are scored against the
+// same reference.
+func (j *JobOutcome) Stretch(baseRuntime float64) float64 {
+	s := (j.End - j.Submit) / baseRuntime
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// ScenarioResult summarizes one run.
+type ScenarioResult struct {
+	Jobs          []JobOutcome
+	AvgStretch    float64
+	CVStretch     float64
+	AvgTurnaround float64
+	// ShapeChanged counts jobs whose winning shape differs from the
+	// base shape.
+	ShapeChanged int
+}
+
+// RunScenario simulates the workload under the configured policy.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Nodes < 1 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("moldable: bad configuration")
+	}
+	if cfg.ExtraShapes == 0 {
+		cfg.ExtraShapes = 2
+	}
+	if cfg.MinEfficiency == 0 {
+		cfg.MinEfficiency = 0.5
+	}
+	model := workload.NewModel(cfg.Nodes)
+	if cfg.MinRuntime > 0 {
+		model.MinRuntime = cfg.MinRuntime
+	}
+	if cfg.MaxRuntime > 0 {
+		model.MaxRuntime = cfg.MaxRuntime
+	}
+	if cfg.TargetLoad > 0 {
+		model.CalibrateClamped(rng.New(0xCA11B8A7E), cfg.Nodes, cfg.TargetLoad, 100000)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(cfg.Seed)
+	jobs := model.GenerateWindow(src, cfg.Horizon)
+
+	sim := des.New()
+	cluster := sched.NewCluster(sim, "moldable", 0, sched.Config{Nodes: cfg.Nodes, Alg: cfg.Alg})
+
+	type gridJob struct {
+		out         JobOutcome
+		baseRuntime float64
+		copies      []*sched.Request
+		winner      *sched.Request
+	}
+	byReq := make(map[*sched.Request]*gridJob)
+	all := make([]*gridJob, 0, len(jobs))
+
+	cluster.OnStart = func(r *sched.Request) {
+		gj := byReq[r]
+		if gj.winner != nil {
+			panic("moldable: job started twice")
+		}
+		gj.winner = r
+		gj.out.Start = r.Start
+		gj.out.WonNodes = r.Nodes
+		gj.out.WonRuntime = r.Runtime
+		for _, c := range gj.copies {
+			if c != r {
+				cluster.Cancel(c)
+			}
+		}
+	}
+	cluster.OnFinish = func(r *sched.Request) {
+		gj := byReq[r]
+		if gj.winner == r {
+			gj.out.End = r.End
+		}
+	}
+
+	for i, j := range jobs {
+		// Reconstruct a speedup model from the sampled base shape;
+		// the sequential fraction is the user's job property.
+		s := RandomSeqFraction(src)
+		m, err := FromObservation(j.Nodes, j.Runtime, s)
+		if err != nil {
+			return nil, err
+		}
+		variants := []Variant{{Nodes: j.Nodes, Time: j.Runtime}}
+		if cfg.Policy == RedundantShapes {
+			variants = m.Variants(j.Nodes, cfg.Nodes, cfg.ExtraShapes, cfg.MinEfficiency)
+		}
+		gj := &gridJob{
+			out: JobOutcome{
+				ID: int64(i), Submit: j.Arrival, BaseNodes: j.Nodes,
+				Copies: len(variants),
+			},
+			baseRuntime: j.Runtime,
+		}
+		all = append(all, gj)
+		estRatio := j.Estimate / j.Runtime
+		vs := variants
+		sim.Schedule(j.Arrival, func() {
+			for _, v := range vs {
+				r := &sched.Request{
+					JobID: gj.out.ID, Nodes: v.Nodes,
+					Runtime: v.Time, Estimate: v.Time * estRatio,
+				}
+				gj.copies = append(gj.copies, r)
+				byReq[r] = gj
+				cluster.Submit(r)
+			}
+		})
+	}
+	sim.Run()
+
+	out := &ScenarioResult{}
+	var stretches, turnarounds []float64
+	for _, gj := range all {
+		if gj.winner == nil || math.IsNaN(gj.out.End) {
+			return nil, fmt.Errorf("moldable: job %d never completed", gj.out.ID)
+		}
+		if gj.out.WonNodes != gj.out.BaseNodes {
+			out.ShapeChanged++
+		}
+		out.Jobs = append(out.Jobs, gj.out)
+		stretches = append(stretches, gj.out.Stretch(gj.baseRuntime))
+		turnarounds = append(turnarounds, gj.out.End-gj.out.Submit)
+	}
+	out.AvgStretch = stats.Mean(stretches)
+	out.CVStretch = stats.CV(stretches)
+	out.AvgTurnaround = stats.Mean(turnarounds)
+	return out, nil
+}

@@ -1,0 +1,277 @@
+package multiq
+
+import (
+	"math"
+	"testing"
+
+	"redreq/internal/des"
+)
+
+func twoQueues() []QueueSpec {
+	return []QueueSpec{
+		{Name: "short", Priority: 0, MaxWalltime: 3600, MaxRunning: 2},
+		{Name: "long", Priority: 1},
+	}
+}
+
+func newTestResource(t *testing.T, sim *des.Simulation, nodes int, queues []QueueSpec) *Resource {
+	t.Helper()
+	r, err := NewResource(sim, nodes, queues)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func req(id int64, nodes int, runtime, estimate float64) *Request {
+	return &Request{JobID: id, Nodes: nodes, Runtime: runtime, Estimate: estimate}
+}
+
+func TestNewResourceValidation(t *testing.T) {
+	sim := des.New()
+	cases := []struct {
+		nodes  int
+		queues []QueueSpec
+	}{
+		{0, twoQueues()},
+		{4, nil},
+		{4, []QueueSpec{{Name: ""}}},
+		{4, []QueueSpec{{Name: "a"}, {Name: "a"}}},
+		{4, []QueueSpec{{Name: "a", MaxNodes: 8}}},
+		{4, []QueueSpec{{Name: "a", MaxWalltime: -1}}},
+		{4, []QueueSpec{{Name: "a", MaxRunning: -1}}},
+	}
+	for i, c := range cases {
+		if _, err := NewResource(sim, c.nodes, c.queues); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestEligibility(t *testing.T) {
+	sim := des.New()
+	r := newTestResource(t, sim, 16, twoQueues())
+	if !r.Eligible("short", 4, 1800) {
+		t.Error("short queue rejected a fitting request")
+	}
+	if r.Eligible("short", 4, 7200) {
+		t.Error("short queue accepted an over-walltime request")
+	}
+	if !r.Eligible("long", 4, 7200) {
+		t.Error("long queue rejected a long request")
+	}
+	if r.Eligible("long", 17, 60) {
+		t.Error("oversized request accepted")
+	}
+	if r.Eligible("nope", 1, 1) {
+		t.Error("unknown queue accepted")
+	}
+}
+
+func TestSubmitRejections(t *testing.T) {
+	sim := des.New()
+	r := newTestResource(t, sim, 16, twoQueues())
+	if err := r.Submit(req(1, 4, 100, 7200), "short"); err == nil {
+		t.Error("over-walltime submit accepted")
+	}
+	if err := r.Submit(req(2, 4, 100, 50), "long"); err == nil {
+		t.Error("estimate below runtime accepted")
+	}
+	a := req(3, 4, 100, 100)
+	if err := r.Submit(a, "long"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Submit(a, "long"); err == nil {
+		t.Error("double submit accepted")
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	sim := des.New()
+	r := newTestResource(t, sim, 4, []QueueSpec{
+		{Name: "hi", Priority: 0},
+		{Name: "lo", Priority: 1},
+	})
+	blocker := req(0, 4, 50, 50)
+	loJob := req(1, 4, 10, 10)
+	hiJob := req(2, 4, 10, 10)
+	sim.Schedule(0, func() { r.Submit(blocker, "lo") })
+	sim.Schedule(1, func() { r.Submit(loJob, "lo") }) // arrives first
+	sim.Schedule(2, func() { r.Submit(hiJob, "hi") }) // higher priority
+	sim.Run()
+	if hiJob.Start != 50 {
+		t.Errorf("high-priority job started at %v, want 50", hiJob.Start)
+	}
+	if loJob.Start != 60 {
+		t.Errorf("low-priority job started at %v, want 60 (after hi)", loJob.Start)
+	}
+}
+
+func TestMaxRunningHoldsQueue(t *testing.T) {
+	sim := des.New()
+	r := newTestResource(t, sim, 16, []QueueSpec{
+		{Name: "limited", Priority: 0, MaxRunning: 1},
+		{Name: "open", Priority: 1},
+	})
+	a := req(1, 2, 100, 100)
+	b := req(2, 2, 10, 10) // same queue: held by slot limit
+	c := req(3, 2, 10, 10) // open queue: runs immediately
+	sim.Schedule(0, func() { r.Submit(a, "limited") })
+	sim.Schedule(1, func() { r.Submit(b, "limited") })
+	sim.Schedule(2, func() { r.Submit(c, "open") })
+	sim.Run()
+	if a.Start != 0 {
+		t.Errorf("a.Start = %v", a.Start)
+	}
+	if b.Start != 100 {
+		t.Errorf("b.Start = %v, want 100 (slot limit holds it despite free nodes)", b.Start)
+	}
+	if c.Start != 2 {
+		t.Errorf("c.Start = %v, want 2 (open queue unaffected)", c.Start)
+	}
+}
+
+func TestBackfillAcrossQueues(t *testing.T) {
+	sim := des.New()
+	r := newTestResource(t, sim, 4, []QueueSpec{
+		{Name: "hi", Priority: 0},
+		{Name: "lo", Priority: 1},
+	})
+	a := req(1, 2, 100, 100) // runs [0,100) on 2 nodes
+	b := req(2, 4, 50, 50)   // hi-priority head, blocked until 100
+	c := req(3, 2, 80, 80)   // lo queue, fits now and ends before 100
+	sim.Schedule(0, func() { r.Submit(a, "hi") })
+	sim.Schedule(1, func() { r.Submit(b, "hi") })
+	sim.Schedule(2, func() { r.Submit(c, "lo") })
+	sim.Run()
+	if c.Start != 2 {
+		t.Errorf("c.Start = %v, want 2 (backfilled from the low queue)", c.Start)
+	}
+	if b.Start != 100 {
+		t.Errorf("b.Start = %v, want 100 (reservation kept)", b.Start)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	sim := des.New()
+	r := newTestResource(t, sim, 4, twoQueues())
+	a := req(1, 4, 100, 100)
+	b := req(2, 4, 50, 50)
+	sim.Schedule(0, func() { r.Submit(a, "long") })
+	sim.Schedule(1, func() { r.Submit(b, "long") })
+	sim.Schedule(5, func() {
+		if !r.Cancel(b) {
+			t.Error("cancel failed")
+		}
+		if r.Cancel(b) {
+			t.Error("double cancel succeeded")
+		}
+		if r.Cancel(a) {
+			t.Error("cancel of running request succeeded")
+		}
+	})
+	sim.Run()
+	if b.State != Canceled {
+		t.Errorf("b.State = %v", b.State)
+	}
+	if r.QueueLen("long") != 0 {
+		t.Errorf("long queue length = %d", r.QueueLen("long"))
+	}
+}
+
+func TestRunScenarioBothPolicies(t *testing.T) {
+	base := ScenarioConfig{
+		Nodes:      64,
+		Queues:     DefaultQueues(),
+		Seed:       3,
+		Horizon:    1200,
+		TargetLoad: 0.45,
+		MinRuntime: 30,
+	}
+	single := base
+	single.Policy = BestQueue
+	resS, err := RunScenario(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	red := base
+	red.Policy = RedundantQueues
+	resR, err := RunScenario(red)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resS.Jobs) != len(resR.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(resS.Jobs), len(resR.Jobs))
+	}
+	for i := range resR.Jobs {
+		j := resR.Jobs[i]
+		if j.End <= j.Start || math.IsNaN(j.Start) {
+			t.Fatalf("job %d bad timeline %+v", i, j)
+		}
+		if j.Copies < 1 {
+			t.Fatalf("job %d has %d copies", i, j.Copies)
+		}
+	}
+	// Short-eligible jobs have 2 copies under redundancy.
+	multi := 0
+	for _, j := range resR.Jobs {
+		if j.Copies > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no job used multiple queues under RedundantQueues")
+	}
+	if resS.AvgStretch < 1 || resR.AvgStretch < 1 {
+		t.Errorf("stretches: single %v redundant %v", resS.AvgStretch, resR.AvgStretch)
+	}
+	if len(resR.WinsByQueue) == 0 {
+		t.Error("no wins recorded")
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	cfg := ScenarioConfig{
+		Nodes: 32, Queues: DefaultQueues(), Policy: RedundantQueues,
+		Seed: 9, Horizon: 600, TargetLoad: 0.45, MinRuntime: 30,
+	}
+	a, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AvgStretch != b.AvgStretch || len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("scenario not deterministic: %v vs %v", a.AvgStretch, b.AvgStretch)
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := RunScenario(ScenarioConfig{Nodes: 0, Queues: DefaultQueues(), Horizon: 1}); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := RunScenario(ScenarioConfig{Nodes: 4, Queues: DefaultQueues(), Horizon: 0}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}
+
+func TestNodeAccounting(t *testing.T) {
+	sim := des.New()
+	r := newTestResource(t, sim, 8, twoQueues())
+	for i := int64(0); i < 50; i++ {
+		rq := req(i, 1+int(i%8), float64(10+i%90), 3000)
+		q := "long"
+		i := i
+		sim.Schedule(float64(i), func() {
+			if err := r.Submit(rq, q); err != nil {
+				t.Errorf("submit %d: %v", i, err)
+			}
+		})
+	}
+	sim.Run()
+	if r.Free() != 8 {
+		t.Fatalf("free = %d after drain, want 8", r.Free())
+	}
+}

@@ -1,0 +1,217 @@
+// Scenario runner: a workload over one multi-queue resource, with and
+// without redundant requests across queues.
+
+package multiq
+
+import (
+	"fmt"
+	"math"
+
+	"redreq/internal/des"
+	"redreq/internal/rng"
+	"redreq/internal/stats"
+	"redreq/internal/workload"
+)
+
+// Policy selects how jobs choose queues.
+type Policy int
+
+const (
+	// BestQueue submits one request to the highest-priority eligible
+	// queue (the informed single-queue choice).
+	BestQueue Policy = iota
+	// RedundantQueues submits a copy to every eligible queue and
+	// cancels the losers when one starts (option iii).
+	RedundantQueues
+)
+
+func (p Policy) String() string {
+	switch p {
+	case BestQueue:
+		return "best-queue"
+	case RedundantQueues:
+		return "redundant-queues"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ScenarioConfig configures one run.
+type ScenarioConfig struct {
+	Nodes   int
+	Queues  []QueueSpec
+	Policy  Policy
+	Seed    uint64
+	Horizon float64
+	// TargetLoad, MinRuntime, MaxRuntime calibrate the workload as
+	// in the multi-cluster engine.
+	TargetLoad float64
+	MinRuntime float64
+	MaxRuntime float64
+}
+
+// JobOutcome is one job's timeline.
+type JobOutcome struct {
+	ID      int64
+	Submit  float64
+	Nodes   int
+	Runtime float64
+	Start   float64
+	End     float64
+	Winner  string // queue that ran the job
+	Copies  int
+}
+
+// Stretch returns the job's stretch.
+func (j *JobOutcome) Stretch() float64 {
+	s := (j.End - j.Submit) / j.Runtime
+	if s < 1 {
+		return 1
+	}
+	return s
+}
+
+// ScenarioResult summarizes one run.
+type ScenarioResult struct {
+	Jobs       []JobOutcome
+	AvgStretch float64
+	CVStretch  float64
+	MaxStretch float64
+	// WinsByQueue counts jobs per winning queue.
+	WinsByQueue map[string]int
+}
+
+// DefaultQueues is a typical two-queue configuration: a "short" queue
+// limited to one-hour requests and 4 running jobs (a tight PBS-style
+// slot limit), served before a "long" unlimited queue. The slot limit
+// is what creates the queue-choice dilemma: the short queue is served
+// first but can be slot-saturated while the long queue has headroom.
+func DefaultQueues() []QueueSpec {
+	return []QueueSpec{
+		{Name: "short", Priority: 0, MaxWalltime: 3600, MaxRunning: 4},
+		{Name: "long", Priority: 1},
+	}
+}
+
+// RunScenario simulates the workload over the resource under the
+// configured policy.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("multiq: bad node count %d", cfg.Nodes)
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("multiq: bad horizon %v", cfg.Horizon)
+	}
+	model := workload.NewModel(cfg.Nodes)
+	if cfg.MinRuntime > 0 {
+		model.MinRuntime = cfg.MinRuntime
+	}
+	if cfg.MaxRuntime > 0 {
+		model.MaxRuntime = cfg.MaxRuntime
+	}
+	if cfg.TargetLoad > 0 {
+		model.CalibrateClamped(rng.New(0xCA11B8A7E), cfg.Nodes, cfg.TargetLoad, 100000)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	jobs := model.GenerateWindow(rng.New(cfg.Seed), cfg.Horizon)
+
+	sim := des.New()
+	res, err := NewResource(sim, cfg.Nodes, cfg.Queues)
+	if err != nil {
+		return nil, err
+	}
+
+	type gridJob struct {
+		out    JobOutcome
+		copies []*Request
+		winner *Request
+	}
+	byReq := make(map[*Request]*gridJob)
+	all := make([]*gridJob, 0, len(jobs))
+
+	res.OnStart = func(r *Request) {
+		gj := byReq[r]
+		if gj.winner != nil {
+			panic("multiq: job started twice")
+		}
+		gj.winner = r
+		gj.out.Start = r.Start
+		gj.out.Winner = r.Queue
+		for _, c := range gj.copies {
+			if c != r {
+				res.Cancel(c)
+			}
+		}
+	}
+	res.OnFinish = func(r *Request) {
+		gj := byReq[r]
+		if gj.winner == r {
+			gj.out.End = r.End
+		}
+	}
+
+	for i, j := range jobs {
+		gj := &gridJob{out: JobOutcome{
+			ID: int64(i), Submit: j.Arrival, Nodes: j.Nodes, Runtime: j.Runtime,
+		}}
+		all = append(all, gj)
+		job := j
+		sim.Schedule(j.Arrival, func() {
+			var targets []string
+			if cfg.Policy == BestQueue {
+				bestPrio := 0
+				best := ""
+				for _, q := range cfg.Queues {
+					if !res.Eligible(q.Name, job.Nodes, job.Estimate) {
+						continue
+					}
+					if best == "" || q.Priority < bestPrio {
+						best, bestPrio = q.Name, q.Priority
+					}
+				}
+				if best != "" {
+					targets = []string{best}
+				}
+			} else {
+				for _, q := range cfg.Queues {
+					if res.Eligible(q.Name, job.Nodes, job.Estimate) {
+						targets = append(targets, q.Name)
+					}
+				}
+			}
+			if len(targets) == 0 {
+				panic(fmt.Sprintf("multiq: job %d fits no queue", gj.out.ID))
+			}
+			gj.out.Copies = len(targets)
+			for _, q := range targets {
+				r := &Request{
+					JobID: gj.out.ID, Nodes: job.Nodes,
+					Runtime: job.Runtime, Estimate: job.Estimate,
+				}
+				gj.copies = append(gj.copies, r)
+				byReq[r] = gj
+				if err := res.Submit(r, q); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	sim.Run()
+
+	out := &ScenarioResult{WinsByQueue: make(map[string]int)}
+	var stretches []float64
+	for _, gj := range all {
+		if gj.winner == nil || math.IsNaN(gj.out.End) || gj.out.End == 0 {
+			return nil, fmt.Errorf("multiq: job %d never completed", gj.out.ID)
+		}
+		out.Jobs = append(out.Jobs, gj.out)
+		out.WinsByQueue[gj.out.Winner]++
+		stretches = append(stretches, gj.out.Stretch())
+	}
+	out.AvgStretch = stats.Mean(stretches)
+	out.CVStretch = stats.CV(stretches)
+	out.MaxStretch = stats.Max(stretches)
+	return out, nil
+}

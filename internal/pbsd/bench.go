@@ -1,0 +1,192 @@
+// The Figure 5 measurement harness: saturate the daemon with
+// submissions and head-of-queue deletions at a given preloaded queue
+// size and measure sustained operation throughput.
+
+package pbsd
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SaturationConfig configures one throughput measurement.
+type SaturationConfig struct {
+	// QueueSize preloads the queue with this many pending jobs.
+	QueueSize int
+	// Clients is the number of concurrent saturating clients (the
+	// paper runs "multiple processes that continuously submit new
+	// jobs ... and delete the job at the head of the queue").
+	Clients int
+	// Duration bounds the measurement window.
+	Duration time.Duration
+	// OverTCP measures through the TCP protocol instead of the
+	// direct API, including protocol and loopback costs.
+	OverTCP bool
+	// Nodes sizes the virtual node pool (the paper's testbed had a
+	// 16-node cluster).
+	Nodes int
+}
+
+// SaturationResult reports one measurement.
+type SaturationResult struct {
+	QueueSize  int
+	Ops        int64         // completed submit+delete operations
+	Elapsed    time.Duration // actual measurement window
+	Throughput float64       // operations per second (submits+deletes each count once)
+	// PairRate is matched submit/cancel pairs per second, the unit
+	// of the paper's Figure 5 y-axis ("submissions/cancellations
+	// per second").
+	PairRate float64
+	// AvgScan is the mean number of pending jobs examined per
+	// scheduling cycle during the window (the cost driver).
+	AvgScan float64
+}
+
+// Saturate preloads a daemon to cfg.QueueSize pending jobs (with a
+// blocker job monopolizing all nodes so nothing starts, as in the
+// paper's setup) and then measures sustained submit + delete-head
+// throughput.
+func Saturate(cfg SaturationConfig) (SaturationResult, error) {
+	if cfg.Clients < 1 {
+		cfg.Clients = 2
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.Nodes < 1 {
+		cfg.Nodes = 16
+	}
+	srv, err := New(Config{Nodes: cfg.Nodes, Execute: false})
+	if err != nil {
+		return SaturationResult{}, err
+	}
+	defer srv.Close()
+
+	// Preload pending jobs.
+	for i := 0; i < cfg.QueueSize; i++ {
+		if _, err := srv.Submit(fmt.Sprintf("preload-%d", i), 1, time.Hour); err != nil {
+			return SaturationResult{}, err
+		}
+	}
+	c0, s0 := srv.Counters()
+
+	var ln *Listener
+	if cfg.OverTCP {
+		ln, err = Serve(srv, "127.0.0.1:0")
+		if err != nil {
+			return SaturationResult{}, err
+		}
+		defer ln.Close()
+	}
+
+	var (
+		ops  atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		werr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if werr == nil {
+			werr = err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var cl *Client
+			if cfg.OverTCP {
+				var err error
+				cl, err = Dial(ln.Addr())
+				if err != nil {
+					fail(err)
+					return
+				}
+				defer cl.Close()
+			}
+			i := 0
+			for !stop.Load() {
+				name := fmt.Sprintf("sat-%d-%d", w, i)
+				i++
+				if cfg.OverTCP {
+					if _, err := cl.Submit(name, 1, time.Hour); err != nil {
+						fail(err)
+						return
+					}
+					if _, err := cl.DeleteHead(); err != nil {
+						fail(err)
+						return
+					}
+				} else {
+					if _, err := srv.Submit(name, 1, time.Hour); err != nil {
+						fail(err)
+						return
+					}
+					if _, err := srv.DeleteHead(); err != nil {
+						fail(err)
+						return
+					}
+				}
+				ops.Add(2)
+			}
+		}(w)
+	}
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	if werr != nil {
+		return SaturationResult{}, werr
+	}
+	c1, s1 := srv.Counters()
+	res := SaturationResult{
+		QueueSize:  cfg.QueueSize,
+		Ops:        ops.Load(),
+		Elapsed:    elapsed,
+		Throughput: float64(ops.Load()) / elapsed.Seconds(),
+	}
+	res.PairRate = res.Throughput / 2
+	if dc := c1 - c0; dc > 0 {
+		res.AvgScan = float64(s1-s0) / float64(dc)
+	}
+	return res, nil
+}
+
+// DefaultQueueSizes are the Figure 5 x-positions (the paper sweeps 0
+// to 20,000 pending requests).
+var DefaultQueueSizes = []int{0, 1000, 2500, 5000, 10000, 15000, 20000}
+
+// Sweep measures throughput at each queue size.
+func Sweep(sizes []int, clients int, dur time.Duration, overTCP bool) ([]SaturationResult, error) {
+	if len(sizes) == 0 {
+		sizes = DefaultQueueSizes
+	}
+	out := make([]SaturationResult, 0, len(sizes))
+	for _, q := range sizes {
+		r, err := Saturate(SaturationConfig{QueueSize: q, Clients: clients, Duration: dur, OverTCP: overTCP})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// LoadBound derives the Section 4.1 conclusion from a measured pair
+// rate: the number of redundant requests per job the scheduler can
+// absorb at the given mean job interarrival time (r/iat <= rate, so
+// r <= rate * iat; the paper computes r < 30 from 6 pairs/s at a
+// 10,000-deep queue and iat = 5 s).
+func LoadBound(pairRate, iat float64) int {
+	if pairRate <= 0 || iat <= 0 {
+		return 0
+	}
+	return int(pairRate * iat)
+}

@@ -1,0 +1,50 @@
+// Job journaling: PBS persists a file per job under its spool
+// directory; the journal reproduces that per-submission disk cost.
+
+package pbsd
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+type journal struct {
+	dir  string
+	file *os.File
+	n    int
+}
+
+func newJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pbsd: journal: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "jobs.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("pbsd: journal: %w", err)
+	}
+	return &journal{dir: dir, file: f}, nil
+}
+
+func (j *journal) record(job *Job) error {
+	_, err := fmt.Fprintf(j.file, "%d %s %d %d %d\n",
+		job.ID, job.Name, job.Nodes, int64(job.Walltime.Seconds()), job.Submit.UnixNano())
+	if err != nil {
+		return fmt.Errorf("pbsd: journal write: %w", err)
+	}
+	j.n++
+	if j.n%256 == 0 {
+		if err := j.file.Sync(); err != nil {
+			return fmt.Errorf("pbsd: journal sync: %w", err)
+		}
+	}
+	return nil
+}
+
+func (j *journal) close() error {
+	if err := j.file.Sync(); err != nil {
+		j.file.Close()
+		return err
+	}
+	return j.file.Close()
+}

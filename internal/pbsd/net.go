@@ -1,0 +1,239 @@
+// TCP line protocol for the daemon: the qsub/qdel path the Figure 5
+// harness saturates. Commands and responses are single lines:
+//
+//	QSUB <nodes> <walltime-seconds> <name>  ->  OK <jobid> | ERR <msg>
+//	QDEL <jobid>                            ->  OK | ERR <msg>
+//	QDELHEAD                                ->  OK <jobid> | ERR <msg>
+//	QSTAT                                   ->  OK <queued> <running> <free>
+//	PING                                    ->  OK
+//
+// Each connection is served by its own goroutine; commands on one
+// connection execute sequentially.
+
+package pbsd
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Listener serves the daemon protocol on a TCP listener.
+type Listener struct {
+	srv *Server
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve starts serving srv on addr (e.g. "127.0.0.1:0") and returns
+// the listener; the actual address is available via Addr.
+func Serve(srv *Server, addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pbsd: listen: %w", err)
+	}
+	l := &Listener{srv: srv, ln: ln, conns: make(map[net.Conn]struct{})}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting, closes active connections, and waits for
+// handlers to finish.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	for c := range l.conns {
+		c.Close()
+	}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}
+
+func (l *Listener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			conn.Close()
+			return
+		}
+		l.conns[conn] = struct{}{}
+		l.mu.Unlock()
+		l.wg.Add(1)
+		go l.handle(conn)
+	}
+}
+
+func (l *Listener) handle(conn net.Conn) {
+	defer l.wg.Done()
+	defer func() {
+		l.mu.Lock()
+		delete(l.conns, conn)
+		l.mu.Unlock()
+		conn.Close()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), 64*1024)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		resp := l.dispatch(sc.Text())
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (l *Listener) dispatch(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty command"
+	}
+	switch fields[0] {
+	case "PING":
+		return "OK"
+	case "QSUB":
+		if len(fields) < 4 {
+			return "ERR usage: QSUB <nodes> <walltime-seconds> <name>"
+		}
+		nodes, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return "ERR bad nodes"
+		}
+		secs, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || secs <= 0 {
+			return "ERR bad walltime"
+		}
+		id, err := l.srv.Submit(strings.Join(fields[3:], " "), nodes, time.Duration(secs*float64(time.Second)))
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK %d", id)
+	case "QDEL":
+		if len(fields) != 2 {
+			return "ERR usage: QDEL <jobid>"
+		}
+		id, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return "ERR bad jobid"
+		}
+		if err := l.srv.Delete(id); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "QDELHEAD":
+		id, err := l.srv.DeleteHead()
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return fmt.Sprintf("OK %d", id)
+	case "QSTAT":
+		q, r, f := l.srv.Stat()
+		return fmt.Sprintf("OK %d %d %d", q, r, f)
+	default:
+		return "ERR unknown command " + fields[0]
+	}
+}
+
+// Client is a protocol client over one TCP connection. It is safe for
+// sequential use only; use one Client per goroutine.
+type Client struct {
+	conn net.Conn
+	r    *bufio.Scanner
+	w    *bufio.Writer
+}
+
+// Dial connects a client to a daemon listener.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pbsd: dial: %w", err)
+	}
+	c := &Client{conn: conn, r: bufio.NewScanner(conn), w: bufio.NewWriter(conn)}
+	c.r.Buffer(make([]byte, 0, 4096), 64*1024)
+	return c, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(cmd string) (string, error) {
+	if _, err := c.w.WriteString(cmd + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	if !c.r.Scan() {
+		if err := c.r.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("pbsd: connection closed")
+	}
+	resp := c.r.Text()
+	if strings.HasPrefix(resp, "ERR") {
+		return "", fmt.Errorf("pbsd: %s", strings.TrimSpace(strings.TrimPrefix(resp, "ERR")))
+	}
+	return strings.TrimSpace(strings.TrimPrefix(resp, "OK")), nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip("PING")
+	return err
+}
+
+// Submit issues QSUB and returns the job ID.
+func (c *Client) Submit(name string, nodes int, walltime time.Duration) (int64, error) {
+	resp, err := c.roundTrip(fmt.Sprintf("QSUB %d %g %s", nodes, walltime.Seconds(), name))
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(resp, 10, 64)
+}
+
+// Delete issues QDEL for a job ID.
+func (c *Client) Delete(id int64) error {
+	_, err := c.roundTrip(fmt.Sprintf("QDEL %d", id))
+	return err
+}
+
+// DeleteHead issues QDELHEAD and returns the removed job's ID.
+func (c *Client) DeleteHead() (int64, error) {
+	resp, err := c.roundTrip("QDELHEAD")
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(resp, 10, 64)
+}
+
+// Stat issues QSTAT.
+func (c *Client) Stat() (queued, running, free int, err error) {
+	resp, err := c.roundTrip("QSTAT")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	_, err = fmt.Sscanf(resp, "%d %d %d", &queued, &running, &free)
+	return queued, running, free, err
+}

@@ -1,0 +1,197 @@
+package pbsd
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestListener(t *testing.T, nodes int) (*Server, *Listener) {
+	t.Helper()
+	srv, err := New(Config{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Close()
+	})
+	return srv, ln
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	_, ln := newTestListener(t, 16)
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Submit("proto-job", 4, 90*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id < 1 {
+		t.Fatalf("id = %d", id)
+	}
+	q, r, free, err := c.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != 1 || r != 0 || free != 16 {
+		t.Errorf("Stat = %d/%d/%d", q, r, free)
+	}
+	if err := c.Delete(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(id); err == nil {
+		t.Error("double delete over protocol succeeded")
+	}
+}
+
+func TestProtocolDeleteHead(t *testing.T) {
+	_, ln := newTestListener(t, 16)
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	id1, _ := c.Submit("a", 1, time.Hour)
+	c.Submit("b", 1, time.Hour)
+	got, err := c.DeleteHead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id1 {
+		t.Errorf("DeleteHead = %d, want %d", got, id1)
+	}
+}
+
+func TestProtocolJobNameWithSpaces(t *testing.T) {
+	_, ln := newTestListener(t, 16)
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit("my long job name", 1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProtocolFailureInjection sends malformed commands straight over
+// the socket and checks each gets a well-formed ERR reply without
+// killing the connection.
+func TestProtocolFailureInjection(t *testing.T) {
+	_, ln := newTestListener(t, 16)
+	conn, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	send := func(line string) string {
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Scan() {
+			t.Fatalf("connection closed after %q", line)
+		}
+		return r.Text()
+	}
+	cases := []string{
+		"",
+		"BOGUS",
+		"QSUB",
+		"QSUB x 10 name",
+		"QSUB 1 -5 name",
+		"QSUB 1 abc name",
+		"QDEL",
+		"QDEL notanumber",
+		"QDEL 99999",
+		"QDELHEAD", // empty queue
+	}
+	for _, line := range cases {
+		resp := send(line)
+		if !strings.HasPrefix(resp, "ERR") {
+			t.Errorf("command %q: response %q, want ERR", line, resp)
+		}
+	}
+	// The connection is still usable afterwards.
+	if resp := send("PING"); resp != "OK" {
+		t.Errorf("PING after garbage = %q", resp)
+	}
+	if resp := send("QSUB 2 60 ok-job"); !strings.HasPrefix(resp, "OK ") {
+		t.Errorf("QSUB after garbage = %q", resp)
+	}
+}
+
+func TestProtocolConcurrentClients(t *testing.T) {
+	_, ln := newTestListener(t, 16)
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			c, err := Dial(ln.Addr())
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 100; i++ {
+				if _, err := c.Submit("cc", 1, time.Hour); err != nil {
+					done <- err
+					return
+				}
+				if _, err := c.DeleteHead(); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestListenerClose(t *testing.T) {
+	srv, err := New(Config{Nodes: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Client operations now fail cleanly.
+	if err := c.Ping(); err == nil {
+		t.Error("ping succeeded after listener close")
+	}
+	c.Close()
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("Dial to closed port succeeded")
+	}
+}

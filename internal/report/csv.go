@@ -1,0 +1,60 @@
+// CSV export: every table and series can also be written as CSV for
+// external plotting tools.
+
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes the table's header and rows as CSV. The title is
+// emitted as a leading comment line when present.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(t.header); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for _, row := range t.rows {
+		if len(row) != len(t.header) {
+			return fmt.Errorf("report: csv row has %d cells, header has %d", len(row), len(t.header))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV writes the series as CSV with the x column first.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if s.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", s.Title); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write(append([]string{s.XLabel}, s.Curves...)); err != nil {
+		return fmt.Errorf("report: csv header: %w", err)
+	}
+	for i, x := range s.xs {
+		row := make([]string, 0, len(s.Curves)+1)
+		row = append(row, x)
+		for _, y := range s.ys[i] {
+			row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("report: csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

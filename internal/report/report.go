@@ -1,0 +1,114 @@
+// Package report renders experiment results as aligned ASCII tables
+// and series, matching the rows and series the paper reports.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them with aligned
+// columns.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with
+// Cell for fixed precision.
+func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+// Cell formats a float at the given precision.
+func Cell(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(c, widths[i]))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series renders an x/y series (one line per point) for a figure, with
+// one column per named curve.
+type Series struct {
+	Title  string
+	XLabel string
+	Curves []string
+	xs     []string
+	ys     [][]float64
+}
+
+// NewSeries creates a series plot with the given curve names.
+func NewSeries(title, xlabel string, curves ...string) *Series {
+	return &Series{Title: title, XLabel: xlabel, Curves: curves}
+}
+
+// AddPoint appends one x position with one y value per curve.
+func (s *Series) AddPoint(x string, ys ...float64) {
+	if len(ys) != len(s.Curves) {
+		panic("report: point arity mismatch")
+	}
+	s.xs = append(s.xs, x)
+	s.ys = append(s.ys, ys)
+}
+
+// Render writes the series as a table.
+func (s *Series) Render(w io.Writer) error {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.Curves...)...)
+	for i, x := range s.xs {
+		cells := []string{x}
+		for _, y := range s.ys[i] {
+			cells = append(cells, Cell(y, 3))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Render(w)
+}

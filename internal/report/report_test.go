@@ -1,0 +1,125 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", Cell(1.234, 2))
+	tb.AddRow("a-much-longer-name", Cell(10, 0))
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	// Columns align: "value" column starts at the same offset in
+	// header and data rows.
+	hIdx := strings.Index(lines[1], "value")
+	rIdx := strings.Index(lines[3], "1.23")
+	if hIdx != rIdx {
+		t.Errorf("misaligned columns: header value at %d, row value at %d\n%s", hIdx, rIdx, out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(b.String(), "\n") {
+		t.Error("empty title produced a leading blank line")
+	}
+}
+
+func TestCell(t *testing.T) {
+	if got := Cell(3.14159, 2); got != "3.14" {
+		t.Errorf("Cell = %q", got)
+	}
+	if got := Cell(2, 0); got != "2" {
+		t.Errorf("Cell = %q", got)
+	}
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := NewSeries("Fig", "x", "a", "b")
+	s.AddPoint("1", 0.5, 1.5)
+	s.AddPoint("2", 0.25, 2.5)
+	var b strings.Builder
+	if err := s.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0.500") || !strings.Contains(out, "2.500") {
+		t.Errorf("series output missing values:\n%s", out)
+	}
+	if !strings.Contains(out, "Fig") {
+		t.Errorf("series output missing title:\n%s", out)
+	}
+}
+
+func TestSeriesArityPanics(t *testing.T) {
+	s := NewSeries("Fig", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("arity mismatch did not panic")
+		}
+	}()
+	s.AddPoint("1", 0.5)
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("with,comma", "1.5")
+	tb.AddRow("plain", "2")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "# Demo" || lines[1] != "name,value" {
+		t.Errorf("csv prefix wrong:\n%s", out)
+	}
+	if lines[2] != `"with,comma",1.5` {
+		t.Errorf("comma cell not quoted: %q", lines[2])
+	}
+}
+
+func TestTableCSVRowArity(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("only-one")
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := NewSeries("Fig", "x", "a", "b")
+	s.AddPoint("1", 0.5, 1.25)
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "x,a,b") || !strings.Contains(out, "1,0.5,1.25") {
+		t.Errorf("series csv:\n%s", out)
+	}
+}

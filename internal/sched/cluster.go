@@ -1,0 +1,502 @@
+// Package sched implements the batch-scheduling algorithms evaluated by
+// the paper: FCFS, EASY backfilling (Lifka, JSSPP 1995), and
+// Conservative Backfilling (Mu'alem and Feitelson, TPDS 2001). A
+// Cluster models one site: a fixed pool of identical nodes managed by a
+// single-queue batch scheduler with no request priorities (Section
+// 3.1.1). Schedulers react to request submissions, cancellations, and
+// job completions — the three event kinds that trigger (re)scheduling
+// and backfilling in the paper's model.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"redreq/internal/des"
+)
+
+// Algorithm selects the job scheduling algorithm of a cluster.
+type Algorithm int
+
+const (
+	// FCFS starts requests strictly in arrival order.
+	FCFS Algorithm = iota
+	// EASY backfills requests that do not delay the queue head's
+	// earliest possible start time.
+	EASY
+	// CBF (Conservative Backfilling) gives every request a
+	// reservation at submission and backfills only when no existing
+	// reservation is delayed.
+	CBF
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case FCFS:
+		return "FCFS"
+	case EASY:
+		return "EASY"
+	case CBF:
+		return "CBF"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a name ("fcfs", "easy", "cbf", any case) to
+// an Algorithm.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	switch {
+	case equalFold(name, "fcfs"):
+		return FCFS, nil
+	case equalFold(name, "easy"):
+		return EASY, nil
+	case equalFold(name, "cbf"):
+		return CBF, nil
+	}
+	return 0, fmt.Errorf("sched: unknown algorithm %q", name)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// State is the lifecycle state of a Request at one cluster.
+type State int
+
+const (
+	// Pending requests wait in the queue.
+	Pending State = iota
+	// Running requests hold nodes.
+	Running
+	// Done requests completed execution.
+	Done
+	// Canceled requests were withdrawn while pending.
+	Canceled
+)
+
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Running:
+		return "running"
+	case Done:
+		return "done"
+	case Canceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Request is one job request at one cluster. When redundant requests
+// are in use, several Requests across clusters share a JobID; exactly
+// one of them runs.
+type Request struct {
+	// JobID identifies the (grid) job this request belongs to.
+	JobID int64
+	// Nodes is the number of compute nodes requested.
+	Nodes int
+	// Runtime is the job's actual execution time in seconds; the
+	// scheduler does not see it until the job finishes.
+	Runtime float64
+	// Estimate is the requested compute time in seconds
+	// (Estimate >= Runtime).
+	Estimate float64
+
+	// Submit, Start, and End record the request's timeline at this
+	// cluster; Start and End are NaN until the transition happens.
+	Submit, Start, End float64
+	// Reserved is the start time predicted at submission: the CBF
+	// reservation, or the EASY/FCFS queue-simulation estimate when
+	// prediction is enabled. NaN when no prediction was made.
+	Reserved float64
+	// State is the current lifecycle state.
+	State State
+
+	cluster  *Cluster
+	resStart float64    // current CBF reservation
+	startEv  *des.Event // CBF reservation timer
+	finishEv *des.Event
+	queued   bool
+}
+
+// Wait returns the request's queue waiting time; it panics if the
+// request has not started.
+func (r *Request) Wait() float64 {
+	if r.State != Running && r.State != Done {
+		panic("sched: Wait on request that never started")
+	}
+	return r.Start - r.Submit
+}
+
+// Cluster returns the cluster the request was submitted to, or nil.
+func (r *Request) Cluster() *Cluster { return r.cluster }
+
+// Config configures one cluster's scheduler.
+type Config struct {
+	// Nodes is the number of identical compute nodes.
+	Nodes int
+	// Alg is the scheduling algorithm.
+	Alg Algorithm
+	// DisableCancelBackfill suppresses the scheduling pass normally
+	// triggered by a cancellation (ablation: the paper notes
+	// backfilling may happen when a request is canceled).
+	DisableCancelBackfill bool
+	// DisableCompression suppresses CBF re-reservation after early
+	// completions (ablation; reservations then never move earlier on
+	// completion, only new holes get filled by new submissions).
+	DisableCompression bool
+	// CompressOnCancel extends CBF compression to cancellations
+	// (more churn, tighter schedules; off by default because
+	// cancellations already release their own profile allocation).
+	CompressOnCancel bool
+	// Predict computes Reserved for EASY and FCFS requests at
+	// submission by simulating the queue (CBF always records its
+	// reservation).
+	Predict bool
+}
+
+// Stats aggregates per-cluster counters.
+type Stats struct {
+	Submitted  int
+	Canceled   int
+	Started    int
+	Finished   int
+	MaxQueue   int
+	MaxRunning int
+	Passes     int
+}
+
+// Cluster is one batch-scheduled site.
+type Cluster struct {
+	// Name identifies the cluster in output.
+	Name string
+	// Index is the cluster's position in the platform.
+	Index int
+
+	sim  *des.Simulation
+	cfg  Config
+	free int
+
+	queue   []*Request // arrival order; may contain nil holes
+	holes   int
+	running []*Request // unordered; compacted lazily
+
+	// CBF persistent profile (running allocations + reservations).
+	profile      *Profile
+	needCompress bool
+	inPass       bool
+	needCompact  bool
+
+	kickEv *des.Event
+
+	// OnStart is called when a request begins execution, before its
+	// finish event is scheduled. OnFinish is called when it
+	// completes. Either may be nil.
+	OnStart  func(*Request)
+	OnFinish func(*Request)
+
+	stats Stats
+}
+
+// NewCluster creates a cluster attached to sim. It panics on an
+// invalid configuration.
+func NewCluster(sim *des.Simulation, name string, index int, cfg Config) *Cluster {
+	if cfg.Nodes < 1 {
+		panic("sched: cluster needs at least one node")
+	}
+	c := &Cluster{
+		Name:  name,
+		Index: index,
+		sim:   sim,
+		cfg:   cfg,
+		free:  cfg.Nodes,
+	}
+	if cfg.Alg == CBF {
+		c.profile = NewProfile(sim.Now(), cfg.Nodes)
+	}
+	return c
+}
+
+// Nodes returns the cluster's node count.
+func (c *Cluster) Nodes() int { return c.cfg.Nodes }
+
+// Free returns the number of currently free nodes.
+func (c *Cluster) Free() int { return c.free }
+
+// QueueLen returns the number of pending requests.
+func (c *Cluster) QueueLen() int { return len(c.queue) - c.holes }
+
+// RunningLen returns the number of running requests.
+func (c *Cluster) RunningLen() int { return len(c.running) }
+
+// Config returns the cluster's configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Stats returns a copy of the cluster's counters.
+func (c *Cluster) Stats() Stats { return c.stats }
+
+// Submit enqueues r at the current simulation time. The request must
+// not have been submitted elsewhere.
+func (c *Cluster) Submit(r *Request) {
+	if r.cluster != nil {
+		panic("sched: request already submitted to a cluster")
+	}
+	if r.Nodes < 1 || r.Nodes > c.cfg.Nodes {
+		panic(fmt.Sprintf("sched: request for %d nodes on %d-node cluster %s", r.Nodes, c.cfg.Nodes, c.Name))
+	}
+	if r.Estimate < r.Runtime {
+		panic("sched: estimate below actual runtime")
+	}
+	r.cluster = c
+	r.Submit = c.sim.Now()
+	r.Start = math.NaN()
+	r.End = math.NaN()
+	r.Reserved = math.NaN()
+	r.resStart = math.NaN()
+	r.State = Pending
+	r.queued = true
+	c.queue = append(c.queue, r)
+	c.stats.Submitted++
+	if q := c.QueueLen(); q > c.stats.MaxQueue {
+		c.stats.MaxQueue = q
+	}
+	c.kick()
+}
+
+// Cancel withdraws a pending request and reports whether it was
+// removed. Canceling a running, finished, or already-canceled request
+// returns false (the paper's protocol only cancels redundant copies
+// that have not started).
+func (c *Cluster) Cancel(r *Request) bool {
+	if r.cluster != c {
+		panic("sched: cancel on wrong cluster")
+	}
+	if r.State != Pending {
+		return false
+	}
+	r.State = Canceled
+	c.removeFromQueue(r)
+	c.stats.Canceled++
+	if c.cfg.Alg == CBF {
+		if r.startEv != nil {
+			c.sim.Cancel(r.startEv)
+			r.startEv = nil
+		}
+		if !math.IsNaN(r.resStart) {
+			// Release the reservation's profile allocation.
+			c.profile.AddBusy(r.resStart, r.resStart+r.Estimate, -r.Nodes)
+			r.resStart = math.NaN()
+		}
+		if c.cfg.CompressOnCancel && !c.cfg.DisableCompression {
+			c.needCompress = true
+		}
+	}
+	if !c.cfg.DisableCancelBackfill {
+		c.kick()
+	}
+	return true
+}
+
+func (c *Cluster) removeFromQueue(r *Request) {
+	if !r.queued {
+		return
+	}
+	r.queued = false
+	for i, q := range c.queue {
+		if q == r {
+			c.queue[i] = nil
+			c.holes++
+			break
+		}
+	}
+	if c.holes > 64 && c.holes*4 > len(c.queue) {
+		if c.inPass {
+			// Passes iterate the queue by index; defer compaction.
+			c.needCompact = true
+		} else {
+			c.compactQueue()
+		}
+	}
+}
+
+func (c *Cluster) compactQueue() {
+	w := 0
+	for _, q := range c.queue {
+		if q != nil {
+			c.queue[w] = q
+			w++
+		}
+	}
+	for i := w; i < len(c.queue); i++ {
+		c.queue[i] = nil
+	}
+	c.queue = c.queue[:w]
+	c.holes = 0
+}
+
+// kick schedules a coalesced scheduling pass at the current time. The
+// pass runs at priority 1 so all same-time submissions, completions,
+// and cancellations are visible to a single pass.
+func (c *Cluster) kick() {
+	if c.kickEv != nil {
+		return
+	}
+	c.kickEv = c.sim.ScheduleP(c.sim.Now(), 1, func() {
+		c.kickEv = nil
+		c.pass()
+	})
+}
+
+// pass runs one scheduling pass for the cluster's algorithm.
+func (c *Cluster) pass() {
+	c.stats.Passes++
+	c.inPass = true
+	switch c.cfg.Alg {
+	case FCFS:
+		c.passFCFS()
+	case EASY:
+		c.passEASY()
+	case CBF:
+		c.passCBF()
+	}
+	c.inPass = false
+	if c.needCompact {
+		c.needCompact = false
+		c.compactQueue()
+	}
+}
+
+// start transitions r to Running, allocates nodes, notifies OnStart,
+// and schedules completion after the actual runtime.
+func (c *Cluster) start(r *Request) {
+	if r.State != Pending {
+		panic("sched: starting non-pending request")
+	}
+	if r.Nodes > c.free {
+		panic(fmt.Sprintf("sched: start of %d-node request with %d free on %s", r.Nodes, c.free, c.Name))
+	}
+	now := c.sim.Now()
+	r.State = Running
+	r.Start = now
+	c.free -= r.Nodes
+	c.removeFromQueue(r)
+	c.running = append(c.running, r)
+	c.stats.Started++
+	if len(c.running) > c.stats.MaxRunning {
+		c.stats.MaxRunning = len(c.running)
+	}
+	if r.startEv != nil {
+		c.sim.Cancel(r.startEv)
+		r.startEv = nil
+	}
+	r.finishEv = c.sim.Schedule(now+r.Runtime, func() { c.finish(r) })
+	if c.OnStart != nil {
+		c.OnStart(r)
+	}
+}
+
+// finish completes a running request, releases its nodes, and triggers
+// rescheduling (backfilling on early completion, Section 1).
+func (c *Cluster) finish(r *Request) {
+	if r.State != Running {
+		panic("sched: finishing non-running request")
+	}
+	now := c.sim.Now()
+	r.State = Done
+	r.End = now
+	r.finishEv = nil
+	c.free += r.Nodes
+	for i, q := range c.running {
+		if q == r {
+			c.running[i] = c.running[len(c.running)-1]
+			c.running = c.running[:len(c.running)-1]
+			break
+		}
+	}
+	c.stats.Finished++
+	if c.cfg.Alg == CBF {
+		// Release the unused tail of this job's profile allocation
+		// (the job finished earlier than its requested end), then
+		// compress reservations unless the ablation disables it.
+		end := r.Start + r.Estimate
+		if now < end {
+			c.profile.AddBusy(now, end, -r.Nodes)
+		}
+		if !c.cfg.DisableCompression {
+			c.needCompress = true
+		}
+	}
+	c.kick()
+	if c.OnFinish != nil {
+		c.OnFinish(r)
+	}
+}
+
+// Pending returns the pending requests in queue (arrival) order.
+func (c *Cluster) Pending() []*Request {
+	out := make([]*Request, 0, c.QueueLen())
+	for _, r := range c.queue {
+		if r != nil && r.State == Pending {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Running returns the currently running requests (unordered).
+func (c *Cluster) Running() []*Request {
+	out := make([]*Request, len(c.running))
+	copy(out, c.running)
+	return out
+}
+
+// Sim returns the simulation the cluster is attached to.
+func (c *Cluster) Sim() *des.Simulation { return c.sim }
+
+// Drain returns all still-pending requests, canceling them; used to
+// terminate a simulation cleanly.
+func (c *Cluster) Drain() []*Request {
+	var out []*Request
+	for _, r := range c.queue {
+		if r != nil && r.State == Pending {
+			out = append(out, r)
+		}
+	}
+	for _, r := range out {
+		c.Cancel(r)
+	}
+	return out
+}
+
+// checkInvariants validates node accounting; used by tests.
+func (c *Cluster) checkInvariants() error {
+	used := 0
+	for _, r := range c.running {
+		used += r.Nodes
+	}
+	if used+c.free != c.cfg.Nodes {
+		return fmt.Errorf("sched: %s node leak: used=%d free=%d total=%d", c.Name, used, c.free, c.cfg.Nodes)
+	}
+	if c.free < 0 {
+		return fmt.Errorf("sched: %s negative free nodes %d", c.Name, c.free)
+	}
+	return nil
+}

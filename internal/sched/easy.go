@@ -1,0 +1,58 @@
+// EASY backfilling (Lifka, "The ANL/IBM SP Scheduling System", JSSPP
+// 1995): the queue head receives a reservation at the earliest time it
+// could start given running jobs' requested ends; any later request may
+// jump ahead if it can run immediately without delaying that
+// reservation. The paper calls EASY "representative of algorithms
+// running in deployed systems today" and uses it for all Section 3
+// experiments unless stated otherwise.
+
+package sched
+
+func (c *Cluster) passEASY() {
+	if c.cfg.Predict {
+		c.predictNew()
+	}
+	now := c.sim.Now()
+
+	// Start requests in arrival order while the head fits.
+	i := 0
+	for ; i < len(c.queue); i++ {
+		r := c.queue[i]
+		if r == nil || r.State != Pending {
+			continue
+		}
+		if r.Nodes > c.free {
+			break
+		}
+		c.start(r)
+	}
+
+	// Locate the blocked head.
+	var head *Request
+	for ; i < len(c.queue); i++ {
+		if r := c.queue[i]; r != nil && r.State == Pending {
+			head = r
+			break
+		}
+	}
+	if head == nil || c.free == 0 {
+		return
+	}
+
+	// Reserve the head at its shadow time, then backfill requests
+	// that fit right now for their full requested duration without
+	// pushing the head reservation back.
+	prof := c.buildRunningProfile(now)
+	shadow := prof.FindAnchor(now, head.Estimate, head.Nodes)
+	prof.AddBusy(shadow, shadow+head.Estimate, head.Nodes)
+	for j := i + 1; j < len(c.queue) && c.free > 0; j++ {
+		r := c.queue[j]
+		if r == nil || r.State != Pending || r.Nodes > c.free {
+			continue
+		}
+		if prof.FindAnchor(now, r.Estimate, r.Nodes) == now {
+			c.start(r)
+			prof.AddBusy(now, now+r.Estimate, r.Nodes)
+		}
+	}
+}

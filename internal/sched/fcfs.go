@@ -1,0 +1,67 @@
+// First Come First Serve: the baseline algorithm of the paper's Table 1.
+// Requests start strictly in arrival order; the queue head blocks all
+// later requests until enough nodes free up.
+
+package sched
+
+import "math"
+
+func (c *Cluster) passFCFS() {
+	if c.cfg.Predict {
+		c.predictNew()
+	}
+	for i := 0; i < len(c.queue); i++ {
+		r := c.queue[i]
+		if r == nil || r.State != Pending {
+			continue
+		}
+		if r.Nodes > c.free {
+			return
+		}
+		c.start(r)
+	}
+}
+
+// buildRunningProfile returns a fresh profile of free nodes implied by
+// the running set, assuming every running job holds its nodes until its
+// requested end (the scheduler does not know actual runtimes).
+func (c *Cluster) buildRunningProfile(now float64) *Profile {
+	p := NewProfile(now, c.cfg.Nodes)
+	for _, r := range c.running {
+		end := r.Start + r.Estimate
+		if end > now {
+			p.AddBusy(now, end, r.Nodes)
+		}
+	}
+	return p
+}
+
+// predictNew records a queue-state wait prediction for every request
+// that does not have one yet. Matching the prediction method the paper
+// describes for deployed schedulers (Section 1 and Section 5), the
+// estimate assumes strict queue order and requested compute times and
+// ignores backfilling, so it is typically pessimistic.
+func (c *Cluster) predictNew() {
+	anyNew := false
+	for _, r := range c.queue {
+		if r != nil && r.State == Pending && math.IsNaN(r.Reserved) {
+			anyNew = true
+			break
+		}
+	}
+	if !anyNew {
+		return
+	}
+	now := c.sim.Now()
+	p := c.buildRunningProfile(now)
+	for _, r := range c.queue {
+		if r == nil || r.State != Pending {
+			continue
+		}
+		anchor := p.FindAnchor(now, r.Estimate, r.Nodes)
+		p.AddBusy(anchor, anchor+r.Estimate, r.Nodes)
+		if math.IsNaN(r.Reserved) {
+			r.Reserved = anchor
+		}
+	}
+}

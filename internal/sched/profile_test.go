@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestProfileBasics(t *testing.T) {
+	p := NewProfile(0, 10)
+	if got := p.AvailAt(0); got != 10 {
+		t.Fatalf("AvailAt(0) = %d, want 10", got)
+	}
+	if got := p.AvailAt(1e9); got != 10 {
+		t.Fatalf("AvailAt(1e9) = %d, want 10", got)
+	}
+	p.AddBusy(5, 15, 4)
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{0, 10}, {4.999, 10}, {5, 6}, {10, 6}, {14.999, 6}, {15, 10}, {20, 10},
+	}
+	for _, c := range cases {
+		if got := p.AvailAt(c.t); got != c.want {
+			t.Errorf("AvailAt(%v) = %d, want %d", c.t, got, c.want)
+		}
+	}
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfileAddBusyRelease(t *testing.T) {
+	p := NewProfile(0, 8)
+	p.AddBusy(2, 10, 3)
+	p.AddBusy(4, 6, 2)
+	p.AddBusy(4, 6, -2)
+	p.AddBusy(2, 10, -3)
+	// Back to flat.
+	if p.Len() != 1 {
+		t.Fatalf("expected fully coalesced profile, got %v", p)
+	}
+	if got := p.AvailAt(5); got != 8 {
+		t.Fatalf("AvailAt(5) = %d, want 8", got)
+	}
+}
+
+func TestProfileFindAnchorImmediate(t *testing.T) {
+	p := NewProfile(0, 10)
+	if got := p.FindAnchor(0, 100, 10); got != 0 {
+		t.Fatalf("anchor = %v, want 0", got)
+	}
+	if got := p.FindAnchor(3.5, 100, 10); got != 3.5 {
+		t.Fatalf("anchor = %v, want 3.5", got)
+	}
+}
+
+func TestProfileFindAnchorAfterBusy(t *testing.T) {
+	p := NewProfile(0, 10)
+	p.AddBusy(0, 50, 8) // only 2 free until t=50
+	if got := p.FindAnchor(0, 10, 2); got != 0 {
+		t.Fatalf("small job anchor = %v, want 0", got)
+	}
+	if got := p.FindAnchor(0, 10, 3); got != 50 {
+		t.Fatalf("big job anchor = %v, want 50", got)
+	}
+	// A hole too short for the duration must be skipped.
+	p2 := NewProfile(0, 10)
+	p2.AddBusy(0, 10, 8)
+	p2.AddBusy(15, 40, 8) // hole [10,15) of width 5
+	if got := p2.FindAnchor(0, 5, 4); got != 10 {
+		t.Fatalf("fitting hole anchor = %v, want 10", got)
+	}
+	if got := p2.FindAnchor(0, 6, 4); got != 40 {
+		t.Fatalf("too-long job anchor = %v, want 40", got)
+	}
+}
+
+func TestProfileFindAnchorNever(t *testing.T) {
+	p := NewProfile(0, 4)
+	if got := p.FindAnchor(0, 1, 5); !math.IsInf(got, 1) {
+		t.Fatalf("anchor for oversized request = %v, want +Inf", got)
+	}
+}
+
+func TestProfileTrimBefore(t *testing.T) {
+	p := NewProfile(0, 10)
+	p.AddBusy(2, 4, 1)
+	p.AddBusy(6, 8, 2)
+	p.TrimBefore(5)
+	if p.Start() != 5 {
+		t.Fatalf("start = %v, want 5", p.Start())
+	}
+	if got := p.AvailAt(5); got != 10 {
+		t.Fatalf("AvailAt(5) = %d, want 10", got)
+	}
+	if got := p.AvailAt(7); got != 8 {
+		t.Fatalf("AvailAt(7) = %d, want 8", got)
+	}
+	if err := p.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	// Trimming into the middle of a segment keeps its availability.
+	p.TrimBefore(7)
+	if got := p.AvailAt(7); got != 8 {
+		t.Fatalf("after trim AvailAt(7) = %d, want 8", got)
+	}
+}
+
+// TestProfileRandomizedAgainstReference compares the profile against a
+// brute-force time-sampled reference over random busy intervals.
+func TestProfileRandomizedAgainstReference(t *testing.T) {
+	const capacity = 16
+	r := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		p := NewProfile(0, capacity)
+		type iv struct {
+			s, e float64
+			n    int
+		}
+		var ivs []iv
+		for k := 0; k < 12; k++ {
+			s := float64(r.IntN(50))
+			e := s + 1 + float64(r.IntN(30))
+			n := 1 + r.IntN(4)
+			ivs = append(ivs, iv{s, e, n})
+			p.AddBusy(s, e, n)
+		}
+		if err := p.Validate(-1); err != nil {
+			t.Fatalf("trial %d: %v (profile %v)", trial, err, p)
+		}
+		ref := func(t float64) int {
+			a := capacity
+			for _, v := range ivs {
+				if t >= v.s && t < v.e {
+					a -= v.n
+				}
+			}
+			return a
+		}
+		for q := 0.0; q < 90; q += 0.5 {
+			if got, want := p.AvailAt(q), ref(q); got != want {
+				t.Fatalf("trial %d: AvailAt(%v) = %d, want %d (profile %v)", trial, q, got, want, p)
+			}
+		}
+		// Cross-check FindAnchor against a brute-force scan over
+		// candidate start times (all breakpoints).
+		for k := 0; k < 10; k++ {
+			nodes := 1 + r.IntN(capacity)
+			dur := 1 + float64(r.IntN(20))
+			got := p.FindAnchor(0, dur, nodes)
+			want := bruteAnchor(p, 0, dur, nodes)
+			if got != want {
+				t.Fatalf("trial %d: FindAnchor(0,%v,%d) = %v, want %v (profile %v)",
+					trial, dur, nodes, got, want, p)
+			}
+		}
+	}
+}
+
+// bruteAnchor finds the earliest feasible anchor by trying every
+// breakpoint (the anchor is always `earliest` or a breakpoint).
+func bruteAnchor(p *Profile, earliest, dur float64, nodes int) float64 {
+	feasible := func(t float64) bool {
+		return p.MinAvail(t, t+dur) >= nodes
+	}
+	if feasible(earliest) {
+		return earliest
+	}
+	for i := 0; i < p.Len(); i++ {
+		t := p.times[i]
+		if t <= earliest {
+			continue
+		}
+		if feasible(t) {
+			return t
+		}
+	}
+	return math.Inf(1)
+}
+
+// TestProfileQuickAddRelease property: any sequence of AddBusy calls
+// followed by their exact inverse restores a flat profile.
+func TestProfileQuickAddRelease(t *testing.T) {
+	f := func(seeds []uint16) bool {
+		p := NewProfile(0, 32)
+		type iv struct {
+			s, e float64
+			n    int
+		}
+		var ivs []iv
+		for _, sd := range seeds {
+			s := float64(sd % 97)
+			e := s + 1 + float64((sd/97)%37)
+			n := 1 + int(sd%5)
+			ivs = append(ivs, iv{s, e, n})
+			p.AddBusy(s, e, n)
+		}
+		for _, v := range ivs {
+			p.AddBusy(v.s, v.e, -v.n)
+		}
+		return p.Len() == 1 && p.AvailAt(0) == 32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

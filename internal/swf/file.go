@@ -1,0 +1,57 @@
+// File helpers: traces in the Parallel Workloads Archive ship as
+// .swf.gz, so the file entry points handle gzip transparently.
+
+package swf
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// ParseFile reads an SWF trace from path; files ending in ".gz" are
+// decompressed transparently.
+func ParseFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("swf: open: %w", err)
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("swf: gzip: %w", err)
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return Parse(r)
+}
+
+// WriteFile writes a trace to path; files ending in ".gz" are
+// compressed transparently.
+func WriteFile(path string, tr *Trace) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("swf: create: %w", err)
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil && cerr != nil {
+			err = fmt.Errorf("swf: close: %w", cerr)
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); err == nil && cerr != nil {
+				err = fmt.Errorf("swf: gzip close: %w", cerr)
+			}
+		}()
+		w = gz
+	}
+	return Write(w, tr)
+}
