@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check bench fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the full verification gate: static analysis plus the whole
+# test suite under the race detector.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+fmt:
+	gofmt -l -w .

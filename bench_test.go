@@ -21,6 +21,7 @@ import (
 	"redreq/internal/experiment"
 	"redreq/internal/metrics"
 	"redreq/internal/middleware"
+	"redreq/internal/obs"
 	"redreq/internal/pbsd"
 	"redreq/internal/report"
 	"redreq/internal/rng"
@@ -318,6 +319,41 @@ func BenchmarkSimulationCore(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
+}
+
+// BenchmarkEngine measures one simulation run with tracing off and
+// on. The trace=off case is the regression guard for the nil-trace
+// fast path: observability must cost nothing measurable when
+// disabled.
+func BenchmarkEngine(b *testing.B) {
+	clusters := make([]core.ClusterSpec, 4)
+	for i := range clusters {
+		clusters[i] = core.ClusterSpec{Nodes: 64}
+	}
+	cfg := core.Config{
+		Clusters: clusters, Alg: sched.EASY, Scheme: core.SchemeAll,
+		RedundantFraction: 1, Selection: core.SelUniform,
+		Horizon: 1800, EstMode: workload.Exact,
+		TargetLoad: 0.85, MinRuntime: 30, MaxRuntime: 7200,
+	}
+	for _, traced := range []bool{false, true} {
+		name := "trace=off"
+		if traced {
+			name = "trace=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := cfg
+				run.Seed = uint64(i + 1)
+				if traced {
+					run.Trace = obs.New()
+				}
+				if _, err := core.Run(run); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkMultiQueue runs the option (iii) extension: redundant

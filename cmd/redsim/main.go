@@ -7,16 +7,27 @@
 //
 // Experiments: fig1, fig2, table1, table2, fig3, table3, fig4, table4,
 // qgrowth, inflate, loadsweep, all.
+//
+// Observability: -trace FILE aggregates run internals (DES event
+// counters, per-cluster queue-depth series, redundant submit/cancel
+// lifecycle, daemon/middleware latency histograms) across every
+// simulation and writes a trace report — JSON when FILE ends in
+// .json, CSV sections when it ends in .csv, aligned tables otherwise
+// ("-" writes tables to stdout). -cpuprofile/-memprofile write pprof
+// profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"redreq/internal/experiment"
+	"redreq/internal/obs"
 	"redreq/internal/report"
 )
 
@@ -32,8 +43,27 @@ func main() {
 		maxRt   = flag.Float64("maxrt", 36*3600, "runtime cap in seconds")
 		seed    = flag.Uint64("seed", 20060619, "base seed")
 		quiet   = flag.Bool("q", false, "suppress progress output")
+		traceTo = flag.String("trace", "", "write an aggregate trace report to this file (.json/.csv by extension, tables otherwise; \"-\" for stdout)")
+		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "redsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	opts := experiment.Defaults()
 	opts.Reps = *reps
@@ -44,6 +74,9 @@ func main() {
 	opts.MinRuntime = *minRt
 	opts.MaxRuntime = *maxRt
 	opts.BaseSeed = *seed
+	if *traceTo != "" {
+		opts.Trace = obs.New()
+	}
 	if !*quiet {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
@@ -126,6 +159,51 @@ func main() {
 		fmt.Fprintf(os.Stderr, "redsim: unknown experiment %q\n", *exp)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *traceTo != "" {
+		if err := writeTrace(*traceTo, opts.Trace); err != nil {
+			fmt.Fprintf(os.Stderr, "redsim: trace: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "redsim: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "redsim: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// writeTrace emits the aggregate trace report; the format follows the
+// destination's extension (JSON for .json, CSV sections for .csv,
+// aligned tables otherwise), with "-" meaning stdout.
+func writeTrace(dest string, tr *obs.Trace) error {
+	snap := tr.Snapshot()
+	var w *os.File
+	if dest == "-" {
+		w = os.Stdout
+	} else {
+		f, err := os.Create(dest)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case strings.HasSuffix(dest, ".json"):
+		return report.WriteTraceJSON(w, snap)
+	case strings.HasSuffix(dest, ".csv"):
+		return report.WriteTraceCSV(w, snap)
+	default:
+		return report.RenderTrace(w, snap)
 	}
 }
 
@@ -348,6 +426,7 @@ func runSection4(opts experiment.Options) error {
 	res, err := experiment.Section4(experiment.Section4Options{
 		Clients: 4,
 		Window:  2 * time.Second,
+		Trace:   opts.Trace,
 	})
 	if err != nil {
 		return err

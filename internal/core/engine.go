@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"redreq/internal/des"
+	"redreq/internal/obs"
 	"redreq/internal/rng"
 	"redreq/internal/sched"
 	"redreq/internal/workload"
@@ -84,6 +85,11 @@ type Config struct {
 	// equal len(Clusters); jobs must arrive in nondecreasing order
 	// and fit their cluster.
 	Streams [][]workload.Job
+	// Trace, when non-nil, collects run internals: DES event
+	// counters, per-cluster queue-depth series, and the redundant
+	// submit/cancel lifecycle (copies placed, losers canceled, cancel
+	// latency in virtual time). Overhead is negligible when nil.
+	Trace *obs.Trace
 	// StopAtHorizon ends the simulation at Horizon and computes
 	// metrics over the jobs that completed within the window,
 	// instead of running every submitted job to completion. This is
@@ -189,6 +195,14 @@ type engine struct {
 	clusters []*sched.Cluster
 	jobs     []*gridJob
 	byReq    map[*sched.Request]*gridJob
+
+	// Trace instruments (nil when tracing is off).
+	cJobs          *obs.Counter
+	cJobsRedundant *obs.Counter
+	cCopies        *obs.Counter
+	cCopiesRemote  *obs.Counter
+	cLosers        *obs.Counter
+	hCancelLatency *obs.Histogram
 }
 
 // Run executes one simulation and returns its result. Runs are
@@ -202,6 +216,15 @@ func Run(cfg Config) (*Result, error) {
 		sim:   des.New(),
 		src:   rng.New(cfg.Seed ^ 0xA5A5A5A5),
 		byReq: make(map[*sched.Request]*gridJob),
+	}
+	if tr := cfg.Trace; tr != nil {
+		e.sim.SetTrace(tr)
+		e.cJobs = tr.Counter("core.jobs")
+		e.cJobsRedundant = tr.Counter("core.jobs.redundant")
+		e.cCopies = tr.Counter("core.copies")
+		e.cCopiesRemote = tr.Counter("core.copies.remote")
+		e.cLosers = tr.Counter("core.cancels.losers")
+		e.hCancelLatency = tr.Histogram("core.cancel_latency")
 	}
 
 	// Calibrate a shared runtime scale against the reference
@@ -234,6 +257,7 @@ func Run(cfg Config) (*Result, error) {
 		sc := schedCfg
 		sc.Nodes = cs.Nodes
 		cl := sched.NewCluster(e.sim, fmt.Sprintf("C%d", i+1), i, sc)
+		cl.SetTrace(cfg.Trace)
 		cl.OnStart = e.onStart
 		cl.OnFinish = e.onFinish
 		e.clusters = append(e.clusters, cl)
@@ -326,6 +350,12 @@ func (e *engine) arrive(gj *gridJob, job workload.Job, home int) {
 	}
 	gj.rec.Redundant = redundant && len(targets) > 1
 	gj.rec.Copies = len(targets)
+	e.cJobs.Inc()
+	if gj.rec.Redundant {
+		e.cJobsRedundant.Inc()
+	}
+	e.cCopies.Add(int64(len(targets)))
+	e.cCopiesRemote.Add(int64(len(targets) - 1))
 
 	for _, t := range targets {
 		est := job.Estimate
@@ -361,8 +391,11 @@ func (e *engine) onStart(r *sched.Request) {
 	gj.rec.Start = r.Start
 	gj.rec.Winner = r.Cluster().Index
 	for _, c := range gj.copies {
-		if c != r {
-			c.Cluster().Cancel(c)
+		if c != r && c.Cluster().Cancel(c) {
+			// Cancel latency in virtual time: how long the losing
+			// copy occupied a remote queue before the winner started.
+			e.cLosers.Inc()
+			e.hCancelLatency.Observe(e.sim.Now() - c.Submit)
 		}
 	}
 }

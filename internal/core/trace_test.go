@@ -1,0 +1,114 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"redreq/internal/obs"
+	"redreq/internal/sched"
+)
+
+// TestRunTrace verifies the engine populates the redundant
+// submit/cancel lifecycle instruments and threads the trace down to the
+// DES kernel and the per-cluster schedulers.
+func TestRunTrace(t *testing.T) {
+	tr := obs.New()
+	cfg := smallConfig(4, SchemeAll)
+	cfg.Trace = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+
+	jobs := snap.Counter("core.jobs")
+	if jobs != int64(len(res.Jobs)) {
+		t.Fatalf("core.jobs = %d, want %d", jobs, len(res.Jobs))
+	}
+	if got := snap.Counter("core.jobs.redundant"); got != jobs {
+		t.Fatalf("core.jobs.redundant = %d, want %d (ALL makes every job redundant)", got, jobs)
+	}
+	copies := snap.Counter("core.copies")
+	if copies != 4*jobs {
+		t.Fatalf("core.copies = %d, want %d (ALL on 4 clusters)", copies, 4*jobs)
+	}
+	if got := snap.Counter("core.copies.remote"); got != copies-jobs {
+		t.Fatalf("core.copies.remote = %d, want %d", got, copies-jobs)
+	}
+	// Every copy but the winner is canceled while pending.
+	if got := snap.Counter("core.cancels.losers"); got != copies-jobs {
+		t.Fatalf("core.cancels.losers = %d, want %d", got, copies-jobs)
+	}
+	if h := tr.Histogram("core.cancel_latency"); h.Count() != copies-jobs {
+		t.Fatalf("cancel latency observations = %d, want %d", h.Count(), copies-jobs)
+	}
+
+	// DES kernel counters flow through the same trace.
+	if got := snap.Counter("des.fired"); uint64(got) != res.Events {
+		t.Fatalf("des.fired = %d, want %d", got, res.Events)
+	}
+	// Per-cluster queue-depth series exist and saw samples.
+	var seriesTotal int64
+	for _, s := range snap.Series {
+		seriesTotal += s.Total
+	}
+	if len(snap.Series) != 4 || seriesTotal == 0 {
+		t.Fatalf("queue-depth series = %d with %d samples, want 4 with > 0", len(snap.Series), seriesTotal)
+	}
+
+	// Start decisions were attributed.
+	starts := snap.Counter("sched.starts.in_order") + snap.Counter("sched.starts.backfill")
+	if starts != jobs {
+		t.Fatalf("attributed starts = %d, want %d", starts, jobs)
+	}
+}
+
+// TestRunTraceDisabledIdentical verifies tracing does not perturb the
+// simulation: identical seeds produce identical results with and
+// without a trace attached.
+func TestRunTraceDisabledIdentical(t *testing.T) {
+	cfg := smallConfig(3, SchemeHalf)
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = obs.New()
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Jobs) != len(traced.Jobs) || base.Events != traced.Events || base.MakeSpan != traced.MakeSpan {
+		t.Fatalf("tracing perturbed the run: %d/%d jobs, %d/%d events",
+			len(base.Jobs), len(traced.Jobs), base.Events, traced.Events)
+	}
+	norm := func(j JobRecord) JobRecord {
+		if math.IsNaN(j.Predicted) {
+			j.Predicted = -1 // NaN breaks struct equality
+		}
+		return j
+	}
+	for i := range base.Jobs {
+		if norm(base.Jobs[i]) != norm(traced.Jobs[i]) {
+			t.Fatalf("job %d differs: %+v vs %+v", i, base.Jobs[i], traced.Jobs[i])
+		}
+	}
+}
+
+// TestCBFReservationCounter locks in the CBF reservation instrument.
+func TestCBFReservationCounter(t *testing.T) {
+	tr := obs.New()
+	cfg := smallConfig(2, SchemeNone)
+	cfg.Alg = sched.CBF
+	cfg.Trace = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := tr.Snapshot()
+	if got := snap.Counter("sched.reservations"); got < int64(len(res.Jobs)) {
+		t.Fatalf("sched.reservations = %d, want >= %d (every request reserves at submission)", got, len(res.Jobs))
+	}
+	if got := snap.Counter("des.canceled"); got == 0 {
+		t.Fatal("des.canceled = 0, want > 0 (CBF cancels reservation timers on start)")
+	}
+}

@@ -6,7 +6,11 @@
 // required.
 package des
 
-import "container/heap"
+import (
+	"container/heap"
+
+	"redreq/internal/obs"
+)
 
 // Event is a scheduled callback. Events at equal times fire in
 // (priority, insertion order). A canceled event is skipped when popped.
@@ -62,10 +66,31 @@ type Simulation struct {
 	queue     eventHeap
 	seq       uint64
 	processed uint64
+
+	// Trace instruments, resolved once by SetTrace; all nil (free
+	// no-ops) when tracing is off, keeping the hot loop unchanged.
+	cScheduled *obs.Counter
+	cFired     *obs.Counter
+	cCanceled  *obs.Counter
+	gQueue     *obs.Gauge
 }
 
 // New returns a Simulation with the clock at 0.
 func New() *Simulation { return &Simulation{} }
+
+// SetTrace attaches trace instruments to the simulation: counters
+// des.scheduled, des.fired, des.canceled and the des.queue gauge (whose
+// Max is the event-queue high-water mark). A nil trace detaches them.
+func (s *Simulation) SetTrace(t *obs.Trace) {
+	if t == nil {
+		s.cScheduled, s.cFired, s.cCanceled, s.gQueue = nil, nil, nil, nil
+		return
+	}
+	s.cScheduled = t.Counter("des.scheduled")
+	s.cFired = t.Counter("des.fired")
+	s.cCanceled = t.Counter("des.canceled")
+	s.gQueue = t.Gauge("des.queue")
+}
 
 // Now returns the current virtual time in seconds.
 func (s *Simulation) Now() float64 { return s.now }
@@ -93,18 +118,26 @@ func (s *Simulation) ScheduleP(at float64, priority int, action func()) *Event {
 	s.seq++
 	e := &Event{Time: at, Priority: priority, Action: action, seq: s.seq, index: -1}
 	heap.Push(&s.queue, e)
+	s.cScheduled.Inc()
+	s.gQueue.Set(int64(len(s.queue)))
 	return e
 }
 
-// Cancel marks e so its action will not run. Canceling an already-fired
-// or already-canceled event is a no-op.
+// Cancel marks e so its action will not run. Canceling nil, an
+// already-fired, or an already-canceled event is a no-op.
 func (s *Simulation) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
+	if e == nil {
+		return
+	}
+	if e.canceled || e.index < 0 {
+		// Already canceled, or already fired (popped from the queue):
+		// mark it so Canceled() reports true either way.
 		e.canceled = true
 		return
 	}
 	e.canceled = true
 	heap.Remove(&s.queue, e.index)
+	s.cCanceled.Inc()
 }
 
 // Step executes the next event, if any, and reports whether one ran.
@@ -116,6 +149,7 @@ func (s *Simulation) Step() bool {
 		}
 		s.now = e.Time
 		s.processed++
+		s.cFired.Inc()
 		e.Action()
 		return true
 	}

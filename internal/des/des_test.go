@@ -4,7 +4,40 @@ import (
 	"math/rand/v2"
 	"sort"
 	"testing"
+
+	"redreq/internal/obs"
 )
+
+func TestTraceCounters(t *testing.T) {
+	tr := obs.New()
+	s := New()
+	s.SetTrace(tr)
+	e := s.Schedule(1, func() {})
+	s.Schedule(2, func() {})
+	s.Schedule(3, func() {})
+	s.Cancel(e)
+	s.Run()
+	snap := tr.Snapshot()
+	if got := snap.Counter("des.scheduled"); got != 3 {
+		t.Fatalf("des.scheduled = %d, want 3", got)
+	}
+	if got := snap.Counter("des.fired"); got != 2 {
+		t.Fatalf("des.fired = %d, want 2", got)
+	}
+	if got := snap.Counter("des.canceled"); got != 1 {
+		t.Fatalf("des.canceled = %d, want 1", got)
+	}
+	if got := tr.Gauge("des.queue").Max(); got != 3 {
+		t.Fatalf("des.queue high-water = %d, want 3", got)
+	}
+	// Detaching stops counting.
+	s.SetTrace(nil)
+	s.Schedule(4, func() {})
+	s.Run()
+	if got := tr.Snapshot().Counter("des.scheduled"); got != 3 {
+		t.Fatalf("detached trace still counted: %d", got)
+	}
+}
 
 func TestEventOrdering(t *testing.T) {
 	s := New()
@@ -141,6 +174,96 @@ func TestProcessedCount(t *testing.T) {
 	s.Run()
 	if s.Processed() != 10 {
 		t.Fatalf("Processed = %d, want 10", s.Processed())
+	}
+}
+
+// Regression: Cancel(nil) must be a true no-op, not a nil dereference
+// (it used to fall into the mark-canceled branch and panic).
+func TestCancelNil(t *testing.T) {
+	s := New()
+	s.Cancel(nil) // must not panic
+	fired := false
+	s.Schedule(1, func() { fired = true })
+	s.Cancel(nil) // with a non-empty queue too
+	s.Run()
+	if !fired {
+		t.Fatal("unrelated event did not fire after Cancel(nil)")
+	}
+}
+
+func TestDoubleCancel(t *testing.T) {
+	s := New()
+	e := s.Schedule(1, func() { t.Fatal("canceled event fired") })
+	s.Cancel(e)
+	s.Cancel(e) // second cancel is a no-op
+	if !e.Canceled() {
+		t.Fatal("event not marked canceled")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after double cancel", s.Pending())
+	}
+	s.Run()
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	fired := 0
+	e := s.Schedule(1, func() { fired++ })
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("fired = %d", fired)
+	}
+	s.Cancel(e) // no-op on an already-fired event
+	if !e.Canceled() {
+		t.Fatal("cancel-after-fire should still mark the event")
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("event fired again: %d", fired)
+	}
+}
+
+// Canceling the head of the queue must leave Peek and RunUntil seeing
+// only live events.
+func TestCancelHeadPeekRunUntil(t *testing.T) {
+	s := New()
+	var fired []float64
+	head := s.Schedule(1, func() { fired = append(fired, 1) })
+	s.Schedule(2, func() { fired = append(fired, 2) })
+	s.Schedule(9, func() { fired = append(fired, 9) })
+	s.Cancel(head)
+	if at, ok := s.Peek(); !ok || at != 2 {
+		t.Fatalf("Peek after head cancel = (%v, %v), want (2, true)", at, ok)
+	}
+	s.RunUntil(5)
+	if len(fired) != 1 || fired[0] != 2 {
+		t.Fatalf("fired = %v, want [2]", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+	if at, ok := s.Peek(); !ok || at != 9 {
+		t.Fatalf("Peek = (%v, %v), want (9, true)", at, ok)
+	}
+}
+
+// Canceling every queued event leaves RunUntil advancing the clock with
+// nothing to fire.
+func TestRunUntilAllCanceled(t *testing.T) {
+	s := New()
+	var evs []*Event
+	for i := 1; i <= 5; i++ {
+		evs = append(evs, s.Schedule(float64(i), func() { t.Fatal("canceled event fired") }))
+	}
+	for _, e := range evs {
+		s.Cancel(e)
+	}
+	s.RunUntil(10)
+	if s.Now() != 10 {
+		t.Fatalf("Now = %v, want 10", s.Now())
+	}
+	if s.Processed() != 0 {
+		t.Fatalf("Processed = %d, want 0", s.Processed())
 	}
 }
 

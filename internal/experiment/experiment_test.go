@@ -6,6 +6,7 @@ import (
 
 	"redreq/internal/core"
 	"redreq/internal/metrics"
+	"redreq/internal/obs"
 )
 
 // tinyOpts keeps unit tests fast: two small clusters' worth of work.
@@ -73,6 +74,65 @@ func TestRunMatrixProgress(t *testing.T) {
 	}
 	if calls.Load() != int64(2*opts.Reps) {
 		t.Errorf("progress called %d times", calls.Load())
+	}
+}
+
+// TestRunMatrixProgressOnFailure pins the fix for the progress
+// accounting bug: failed replications used to skip the Progress
+// callback, so done never reached total and progress UIs hung one
+// short (e.g. 49/50).
+func TestRunMatrixProgressOnFailure(t *testing.T) {
+	opts := tinyOpts()
+	bad := opts.base(2)
+	bad.RedundantFraction = 99 // invalid: core.Run fails
+	var calls, final atomic.Int64
+	opts.Progress = func(done, total int) {
+		calls.Add(1)
+		if total != 2*opts.Reps {
+			t.Errorf("total = %d, want %d", total, 2*opts.Reps)
+		}
+		if done == total {
+			final.Add(1)
+		}
+	}
+	_, err := runMatrix(opts, []variant{
+		{Name: "good", Config: opts.base(2)},
+		{Name: "bad", Config: bad},
+	})
+	if err == nil {
+		t.Fatal("failing variant did not surface an error")
+	}
+	if calls.Load() != int64(2*opts.Reps) {
+		t.Errorf("progress called %d times, want %d", calls.Load(), 2*opts.Reps)
+	}
+	if final.Load() != 1 {
+		t.Errorf("done reached total %d times, want exactly once", final.Load())
+	}
+}
+
+// TestRunMatrixTraceAggregation checks that Options.Trace merges every
+// replication's run internals into one aggregate trace.
+func TestRunMatrixTraceAggregation(t *testing.T) {
+	opts := tinyOpts()
+	opts.Trace = obs.New()
+	res, err := runMatrix(opts, []variant{{Name: "traced", Config: opts.base(2)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs, events int64
+	for _, r := range res[0] {
+		jobs += int64(len(r.Jobs))
+		events += int64(r.Events)
+	}
+	snap := opts.Trace.Snapshot()
+	if got := snap.Counter("core.jobs"); got != jobs {
+		t.Errorf("aggregate core.jobs = %d, want %d (sum over reps)", got, jobs)
+	}
+	if got := snap.Counter("des.fired"); got != events {
+		t.Errorf("aggregate des.fired = %d, want %d (sum over reps)", got, events)
+	}
+	if len(snap.Series) == 0 {
+		t.Error("aggregate trace has no queue-depth series")
 	}
 }
 

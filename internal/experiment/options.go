@@ -13,6 +13,7 @@ import (
 
 	"redreq/internal/core"
 	"redreq/internal/metrics"
+	"redreq/internal/obs"
 	"redreq/internal/sched"
 	"redreq/internal/workload"
 )
@@ -40,8 +41,13 @@ type Options struct {
 	MinRuntime float64
 	MaxRuntime float64
 	// Progress, when non-nil, receives (done, total) after each
-	// completed simulation.
+	// completed simulation, successful or not.
 	Progress func(done, total int)
+	// Trace, when non-nil, aggregates every replication's run
+	// internals (DES counters, queue-depth series, redundant
+	// submit/cancel lifecycle) into one trace: each simulation runs
+	// with its own trace, merged in on completion.
+	Trace *obs.Trace
 }
 
 // Defaults returns the paper-shaped default options.
@@ -149,6 +155,9 @@ func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 				if m := variants[t.v].Mutate; m != nil {
 					m(t.r, &cfg)
 				}
+				if opts.Trace != nil {
+					cfg.Trace = obs.New()
+				}
 				res, err := core.Run(cfg)
 				if err != nil {
 					mu.Lock()
@@ -156,9 +165,12 @@ func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 						firstErr = fmt.Errorf("experiment: variant %q rep %d: %w", variants[t.v].Name, t.r, err)
 					}
 					mu.Unlock()
-					continue
+				} else {
+					results[t.v][t.r] = res
+					opts.Trace.Merge(cfg.Trace)
 				}
-				results[t.v][t.r] = res
+				// Progress must fire on failures too, or done never
+				// reaches total and progress UIs hang at e.g. 49/50.
 				if opts.Progress != nil {
 					opts.Progress(int(done.Add(1)), total)
 				}

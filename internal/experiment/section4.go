@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"redreq/internal/middleware"
+	"redreq/internal/obs"
 	"redreq/internal/pbsd"
 )
 
@@ -31,6 +32,10 @@ type Section4Options struct {
 	// StateDir holds the middleware's durable state (a temporary
 	// directory when empty).
 	StateDir string
+	// Trace, when non-nil, collects the daemon's and the middleware's
+	// wall-clock latency histograms and error counters across every
+	// measurement.
+	Trace *obs.Trace
 }
 
 // Section4Result aggregates the Section 4 measurements.
@@ -75,10 +80,22 @@ func Section4(opts Section4Options) (*Section4Result, error) {
 
 	out := &Section4Result{}
 
-	// (1) Figure 5: scheduler throughput vs queue size.
-	sweep, err := pbsd.Sweep(opts.QueueSizes, opts.Clients, opts.Window, true)
-	if err != nil {
-		return nil, err
+	// (1) Figure 5: scheduler throughput vs queue size. Loop over
+	// Saturate directly (rather than pbsd.Sweep) so the trace can be
+	// threaded into each measurement.
+	sweep := make([]pbsd.SaturationResult, 0, len(opts.QueueSizes))
+	for _, q := range opts.QueueSizes {
+		r, err := pbsd.Saturate(pbsd.SaturationConfig{
+			QueueSize: q,
+			Clients:   opts.Clients,
+			Duration:  opts.Window,
+			OverTCP:   true,
+			Trace:     opts.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sweep = append(sweep, r)
 	}
 	out.Scheduler = sweep
 	at := sweep[len(sweep)-1]
@@ -127,7 +144,7 @@ func Section4(opts Section4Options) (*Section4Result, error) {
 }
 
 func measureMiddleware(opts Section4Options, durable, security bool) (middleware.RateResult, error) {
-	backend, err := pbsd.New(pbsd.Config{Nodes: 16})
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16, Trace: opts.Trace})
 	if err != nil {
 		return middleware.RateResult{}, err
 	}
@@ -146,6 +163,7 @@ func measureMiddleware(opts Section4Options, durable, security bool) (middleware
 		Security: security,
 		StateDir: stateDir,
 		Backend:  backend,
+		Trace:    opts.Trace,
 	})
 	if err != nil {
 		return middleware.RateResult{}, err

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"redreq/internal/obs"
 	"redreq/internal/pbsd"
 )
 
@@ -141,6 +142,66 @@ func TestServiceSubmitCancel(t *testing.T) {
 	}
 	if err := c.Cancel(id); err == nil {
 		t.Error("double cancel succeeded")
+	}
+}
+
+// TestServiceTrace verifies the SOAP-envelope path populates per-op
+// latency histograms and counts failed transactions.
+func TestServiceTrace(t *testing.T) {
+	tr := obs.New()
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(ServiceConfig{Backend: backend, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Start(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ep.Close()
+		svc.Close()
+		backend.Close()
+	})
+	c := NewClient(ep.URL, "trace-tester")
+	id, err := c.Submit("traced", 1, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := c.Stat(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Cancel(id); err == nil { // fails: already canceled
+		t.Fatal("double cancel succeeded")
+	}
+	// Malformed envelope straight over HTTP.
+	resp, err := http.Post(ep.URL+"/gram", "text/xml", strings.NewReader("not xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if n := tr.Histogram("gram.latency.submit").Count(); n != 1 {
+		t.Errorf("gram.latency.submit count = %d, want 1", n)
+	}
+	if n := tr.Histogram("gram.latency.cancel").Count(); n != 2 {
+		t.Errorf("gram.latency.cancel count = %d, want 2", n)
+	}
+	if n := tr.Histogram("gram.latency.status").Count(); n != 1 {
+		t.Errorf("gram.latency.status count = %d, want 1", n)
+	}
+	if h := tr.Histogram("gram.latency.submit"); !(h.Mean() > 0) {
+		t.Errorf("submit latency mean = %v, want > 0", h.Mean())
+	}
+	// One failed cancel + one unmarshal failure.
+	if got := tr.Snapshot().Counter("gram.errors"); got != 2 {
+		t.Errorf("gram.errors = %d, want 2", got)
 	}
 }
 

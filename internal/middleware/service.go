@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"redreq/internal/obs"
 	"redreq/internal/pbsd"
 )
 
@@ -40,6 +41,11 @@ type ServiceConfig struct {
 	StateDir string
 	// Backend is the batch scheduler daemon operated by the service.
 	Backend *pbsd.Server
+	// Trace, when non-nil, collects wall-clock latency histograms per
+	// operation on the SOAP-envelope path (gram.latency.submit,
+	// gram.latency.cancel, gram.latency.status) and the gram.errors
+	// counter for failed transactions.
+	Trace *obs.Trace
 }
 
 // Service is the HTTP middleware service.
@@ -52,6 +58,12 @@ type Service struct {
 	stateSeq int64
 
 	key *rsa.PrivateKey
+
+	// Trace instruments (nil when tracing is off).
+	hSubmit *obs.Histogram
+	hCancel *obs.Histogram
+	hStatus *obs.Histogram
+	cErrors *obs.Counter
 }
 
 // NewService builds the service; the caller owns the backend's
@@ -76,6 +88,12 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		}
 		s.key = key
 	}
+	if tr := cfg.Trace; tr != nil {
+		s.hSubmit = tr.Histogram("gram.latency.submit")
+		s.hCancel = tr.Histogram("gram.latency.cancel")
+		s.hStatus = tr.Histogram("gram.latency.status")
+		s.cErrors = tr.Counter("gram.errors")
+	}
 	s.mux.HandleFunc("/gram", s.handleGRAM)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -99,10 +117,29 @@ func (s *Service) handleGRAM(w http.ResponseWriter, r *http.Request) {
 	}
 	env, err := Unmarshal(r.Body)
 	if err != nil {
+		s.cErrors.Inc()
 		s.reply(w, &Response{OK: false, Error: err.Error()})
 		return
 	}
+	var t0 time.Time
+	if s.cfg.Trace != nil {
+		t0 = time.Now()
+	}
 	resp := s.execute(env)
+	if s.cfg.Trace != nil {
+		elapsed := time.Since(t0).Seconds()
+		switch {
+		case env.Body.Submit != nil:
+			s.hSubmit.Observe(elapsed)
+		case env.Body.Cancel != nil:
+			s.hCancel.Observe(elapsed)
+		case env.Body.Status != nil:
+			s.hStatus.Observe(elapsed)
+		}
+		if !resp.OK {
+			s.cErrors.Inc()
+		}
+	}
 	s.reply(w, resp)
 	s.txCount.Add(1)
 }

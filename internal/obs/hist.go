@@ -1,0 +1,197 @@
+// Log-bucketed histogram for latencies: geometric buckets doubling from
+// a 1 µs base cover one nanosecond-ish to thousands of years of either
+// wall-clock or virtual seconds with 64 slots and no allocation per
+// observation.
+
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+const (
+	histBuckets = 64
+	histBase    = 1e-6 // seconds; bucket 0 is (-inf, 1µs]
+)
+
+// Histogram counts float64 observations (seconds) in geometric buckets
+// and tracks count, sum, min, and max exactly.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomicFloat
+	min     atomicFloat
+	max     atomicFloat
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// bucketIndex maps an observation to its bucket: i covers
+// (histBase*2^(i-1), histBase*2^i].
+func bucketIndex(v float64) int {
+	if v <= histBase {
+		return 0
+	}
+	_, exp := math.Frexp(v / histBase)
+	// Frexp returns f in [0.5, 1) with v/base = f * 2^exp, so the
+	// bucket upper bound histBase*2^exp is the first one >= v.
+	if exp >= histBuckets {
+		return histBuckets - 1
+	}
+	return exp
+}
+
+// BucketBound returns the upper bound (inclusive, seconds) of bucket i.
+func BucketBound(i int) float64 {
+	return histBase * math.Pow(2, float64(i))
+}
+
+// Observe records one value. No-op on a nil receiver; NaN is dropped.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// Count returns the number of observations; 0 on a nil receiver.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations; 0 on a nil receiver.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Mean returns the mean observation, or NaN when empty or nil.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return math.NaN()
+	}
+	return h.Sum() / float64(n)
+}
+
+// Min returns the smallest observation, or NaN when empty or nil.
+func (h *Histogram) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return math.NaN()
+	}
+	return h.min.load()
+}
+
+// Max returns the largest observation, or NaN when empty or nil.
+func (h *Histogram) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return math.NaN()
+	}
+	return h.max.load()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the buckets,
+// returning the upper bound of the bucket holding the q-th observation
+// clamped to the observed min/max. NaN when empty or nil.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.Count()
+	if n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			est := BucketBound(i)
+			if mx := h.Max(); est > mx {
+				est = mx
+			}
+			if mn := h.Min(); est < mn {
+				est = mn
+			}
+			return est
+		}
+	}
+	return h.Max()
+}
+
+// merge pools src's observations into h.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := src.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	n := src.count.Load()
+	if n == 0 {
+		return
+	}
+	h.count.Add(n)
+	h.sum.add(src.sum.load())
+	h.min.storeMin(src.min.load())
+	h.max.storeMax(src.max.load())
+}
+
+// atomicFloat is a float64 stored as bits for lock-free updates.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) load() float64   { return math.Float64frombits(f.bits.Load()) }
+func (f *atomicFloat) store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+func (f *atomicFloat) add(delta float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMin(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) storeMax(v float64) {
+	for {
+		old := f.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Time series sampler: bounded (t, v) points over virtual (or wall)
+// time. When a series exceeds its point budget it decimates itself,
+// keeping every other retained point and doubling its stride, so memory
+// stays bounded and coverage stays uniform over arbitrarily long runs.
+
+package obs
+
+import "sync"
+
+// maxSeriesPoints bounds retained points per series; decimation keeps
+// the count in [maxSeriesPoints/2, maxSeriesPoints].
+const maxSeriesPoints = 2048
+
+// Point is one series sample.
+type Point struct {
+	T float64 // sample time (virtual seconds for simulator series)
+	V float64 // sampled value
+}
+
+// Series is a decimating sampler of (time, value) points.
+type Series struct {
+	mu     sync.Mutex
+	points []Point
+	stride int // record every stride-th Sample call
+	skip   int // Sample calls dropped since the last retained point
+	total  int64
+}
+
+func newSeries() *Series { return &Series{stride: 1} }
+
+// Sample records one point. No-op on a nil receiver.
+func (s *Series) Sample(t, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total++
+	if s.skip++; s.skip < s.stride {
+		return
+	}
+	s.skip = 0
+	s.points = append(s.points, Point{T: t, V: v})
+	if len(s.points) >= maxSeriesPoints {
+		s.decimate()
+	}
+}
+
+// decimate halves the retained points and doubles the stride; callers
+// hold s.mu.
+func (s *Series) decimate() {
+	w := 0
+	for i := 0; i < len(s.points); i += 2 {
+		s.points[w] = s.points[i]
+		w++
+	}
+	s.points = s.points[:w]
+	s.stride *= 2
+}
+
+// Points returns a copy of the retained points in insertion order; nil
+// on a nil receiver.
+func (s *Series) Points() []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Total returns the number of Sample calls (before decimation); 0 on a
+// nil receiver.
+func (s *Series) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// merge pools src's retained points into s, keeping points time-sorted
+// and re-decimating if the pool exceeds the budget. Pooling samples
+// from replications of the same configuration yields a scatter of the
+// metric over time across runs.
+func (s *Series) merge(src *Series) {
+	if s == nil || src == nil {
+		return
+	}
+	pts := src.Points()
+	total := src.Total()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.total += total
+	s.points = mergeSorted(s.points, pts)
+	for len(s.points) >= maxSeriesPoints {
+		s.decimate()
+	}
+}
+
+// mergeSorted merges two time-sorted point slices.
+func mergeSorted(a, b []Point) []Point {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]Point(nil), b...)
+	}
+	out := make([]Point, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i].T <= b[j].T {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

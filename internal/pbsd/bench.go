@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"redreq/internal/obs"
 )
 
 // SaturationConfig configures one throughput measurement.
@@ -27,6 +29,9 @@ type SaturationConfig struct {
 	// Nodes sizes the virtual node pool (the paper's testbed had a
 	// 16-node cluster).
 	Nodes int
+	// Trace, when non-nil, collects the daemon's request-latency
+	// histograms and protocol error counters during the measurement.
+	Trace *obs.Trace
 }
 
 // SaturationResult reports one measurement.
@@ -58,7 +63,7 @@ func Saturate(cfg SaturationConfig) (SaturationResult, error) {
 	if cfg.Nodes < 1 {
 		cfg.Nodes = 16
 	}
-	srv, err := New(Config{Nodes: cfg.Nodes, Execute: false})
+	srv, err := New(Config{Nodes: cfg.Nodes, Execute: false, Trace: cfg.Trace})
 	if err != nil {
 		return SaturationResult{}, err
 	}

@@ -14,7 +14,9 @@ package pbsd
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"strconv"
 	"strings"
@@ -103,12 +105,46 @@ func (l *Listener) handle(conn net.Conn) {
 			return
 		}
 	}
+	// A scan failure other than EOF (an oversized or malformed line)
+	// used to close the connection silently; diagnose it to the client
+	// and count it before dropping the connection.
+	if err := sc.Err(); err != nil {
+		l.srv.cProtoErrors.Inc()
+		msg := "ERR read: " + err.Error()
+		if errors.Is(err, bufio.ErrTooLong) {
+			l.srv.cLineTooLong.Inc()
+			msg = "ERR line too long"
+		}
+		w.WriteString(msg + "\n")
+		w.Flush()
+		// The aborted scan leaves unread input in the socket buffer;
+		// closing with it pending sends an RST that can destroy the
+		// queued diagnostic before the client reads it. Drain (bounded
+		// by a deadline) so the close is graceful.
+		conn.SetReadDeadline(time.Now().Add(500 * time.Millisecond))
+		io.Copy(io.Discard, conn)
+	}
 }
 
 func (l *Listener) dispatch(line string) string {
+	resp := l.serveCommand(line)
+	if strings.HasPrefix(resp, "ERR") {
+		l.srv.cProtoErrors.Inc()
+	}
+	return resp
+}
+
+func (l *Listener) serveCommand(line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty command"
+	}
+	if l.srv.hLatency != nil {
+		if h, ok := l.srv.hLatency[fields[0]]; ok {
+			defer func(t0 time.Time) {
+				h.Observe(time.Since(t0).Seconds())
+			}(time.Now())
+		}
 	}
 	switch fields[0] {
 	case "PING":
@@ -234,6 +270,23 @@ func (c *Client) Stat() (queued, running, free int, err error) {
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	_, err = fmt.Sscanf(resp, "%d %d %d", &queued, &running, &free)
-	return queued, running, free, err
+	return parseStat(resp)
+}
+
+// parseStat strictly parses a QSTAT payload: exactly three integers,
+// no trailing garbage (fmt.Sscanf used to accept "1 2 3 nonsense").
+func parseStat(resp string) (queued, running, free int, err error) {
+	fields := strings.Fields(resp)
+	if len(fields) != 3 {
+		return 0, 0, 0, fmt.Errorf("pbsd: malformed QSTAT response %q", resp)
+	}
+	vals := make([]int, 3)
+	for i, f := range fields {
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("pbsd: malformed QSTAT response %q: %v", resp, err)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"redreq/internal/obs"
 )
 
 func newTestListener(t *testing.T, nodes int) (*Server, *Listener) {
@@ -163,6 +165,160 @@ func TestProtocolConcurrentClients(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestParseStatStrict locks in the strict QSTAT payload parse: the old
+// fmt.Sscanf accepted trailing garbage after the three ints.
+func TestParseStatStrict(t *testing.T) {
+	cases := []struct {
+		resp    string
+		q, r, f int
+		ok      bool
+	}{
+		{"1 2 3", 1, 2, 3, true},
+		{"  7   0   16  ", 7, 0, 16, true},
+		{"0 0 0", 0, 0, 0, true},
+		{"1 2 3 garbage", 0, 0, 0, false},
+		{"1 2 3 4", 0, 0, 0, false},
+		{"1 2", 0, 0, 0, false},
+		{"", 0, 0, 0, false},
+		{"a b c", 0, 0, 0, false},
+		{"1 2 x", 0, 0, 0, false},
+		{"1.5 2 3", 0, 0, 0, false},
+	}
+	for _, c := range cases {
+		q, r, f, err := parseStat(c.resp)
+		if c.ok {
+			if err != nil {
+				t.Errorf("parseStat(%q) error: %v", c.resp, err)
+			} else if q != c.q || r != c.r || f != c.f {
+				t.Errorf("parseStat(%q) = %d/%d/%d, want %d/%d/%d", c.resp, q, r, f, c.q, c.r, c.f)
+			}
+		} else if err == nil {
+			t.Errorf("parseStat(%q) accepted malformed response", c.resp)
+		}
+	}
+}
+
+// TestProtocolErrorShapes is the table-driven protocol-parsing test:
+// each malformed command produces the documented ERR shape, and each
+// ERR is counted by the pbsd.errors trace counter.
+func TestProtocolErrorShapes(t *testing.T) {
+	tr := obs.New()
+	srv, err := New(Config{Nodes: 16, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Close()
+	})
+	conn, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewScanner(conn)
+	send := func(line string) string {
+		t.Helper()
+		if _, err := conn.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Scan() {
+			t.Fatalf("connection closed after %q", line)
+		}
+		return r.Text()
+	}
+	cases := []struct {
+		line string
+		want string // response prefix
+	}{
+		{"QSUB", "ERR usage: QSUB"},
+		{"QSUB 1 60", "ERR usage: QSUB"},
+		{"QSUB x 60 job", "ERR bad nodes"},
+		{"QSUB 1 x job", "ERR bad walltime"},
+		{"QSUB 1 -5 job", "ERR bad walltime"},
+		{"QSUB 1 0 job", "ERR bad walltime"},
+		{"QSUB 99 60 job", "ERR pbsd: request exceeds node pool"},
+		{"QDEL", "ERR usage: QDEL"},
+		{"QDEL 1 2", "ERR usage: QDEL"},
+		{"QDEL abc", "ERR bad jobid"},
+		{"QDEL 424242", "ERR pbsd: unknown job"},
+		{"QDELHEAD", "ERR pbsd: unknown job"},
+		{"QSTAT extra", "OK 0 0 16"}, // extra args are ignored by QSTAT
+		{"NOSUCH", "ERR unknown command NOSUCH"},
+		{"", "ERR empty command"},
+	}
+	wantErrs := int64(0)
+	for _, c := range cases {
+		resp := send(c.line)
+		if !strings.HasPrefix(resp, c.want) {
+			t.Errorf("command %q: response %q, want prefix %q", c.line, resp, c.want)
+		}
+		if strings.HasPrefix(c.want, "ERR") {
+			wantErrs++
+		}
+	}
+	if got := tr.Snapshot().Counter("pbsd.errors"); got != wantErrs {
+		t.Errorf("pbsd.errors = %d, want %d", got, wantErrs)
+	}
+	// Successful commands land in the latency histograms.
+	if send("PING") != "OK" {
+		t.Fatal("PING failed")
+	}
+	if n := tr.Histogram("pbsd.latency.ping").Count(); n != 1 {
+		t.Errorf("pbsd.latency.ping count = %d, want 1", n)
+	}
+	if n := tr.Histogram("pbsd.latency.qsub").Count(); n != 7 {
+		t.Errorf("pbsd.latency.qsub count = %d, want 7 (every QSUB attempt is timed)", n)
+	}
+}
+
+// TestScannerOverflowDiagnosed sends a line beyond the 64 KiB scanner
+// buffer: the old handler dropped the connection silently; it must now
+// answer "ERR line too long" and count the failure.
+func TestScannerOverflowDiagnosed(t *testing.T) {
+	tr := obs.New()
+	srv, err := New(Config{Nodes: 4, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ln.Close()
+		srv.Close()
+	})
+	conn, err := net.Dial("tcp", ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	huge := "QSUB 1 60 " + strings.Repeat("x", 80*1024) + "\n"
+	if _, err := conn.Write([]byte(huge)); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 4096), 128*1024)
+	if !r.Scan() {
+		t.Fatalf("no diagnostic before close: %v", r.Err())
+	}
+	if got := r.Text(); got != "ERR line too long" {
+		t.Fatalf("response = %q, want \"ERR line too long\"", got)
+	}
+	// The connection is closed afterwards (the scanner cannot resync).
+	if r.Scan() {
+		t.Fatalf("unexpected extra response %q", r.Text())
+	}
+	if got := tr.Snapshot().Counter("pbsd.errors.line_too_long"); got != 1 {
+		t.Errorf("pbsd.errors.line_too_long = %d, want 1", got)
 	}
 }
 

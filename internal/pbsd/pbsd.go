@@ -16,8 +16,11 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
+
+	"redreq/internal/obs"
 )
 
 // JobState is the lifecycle state of a daemon job.
@@ -79,6 +82,10 @@ type Config struct {
 	// disk (PBS keeps job files under its spool); adds realistic I/O
 	// to every submission.
 	JournalDir string
+	// Trace, when non-nil, collects wall-clock per-command latency
+	// histograms (pbsd.latency.<cmd>) and protocol error counters
+	// (pbsd.errors, pbsd.errors.line_too_long) on the TCP path.
+	Trace *obs.Trace
 }
 
 // Server is the batch scheduler daemon.
@@ -100,6 +107,12 @@ type Server struct {
 	scanned uint64
 
 	journal *journal
+
+	// Protocol-path instruments (nil when tracing is off); resolved
+	// once at New so the dispatch loop pays no map lookups.
+	hLatency     map[string]*obs.Histogram
+	cProtoErrors *obs.Counter
+	cLineTooLong *obs.Counter
 }
 
 // ErrUnknownJob is returned by Delete for nonexistent or finished jobs.
@@ -129,6 +142,14 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		s.journal = j
+	}
+	if tr := cfg.Trace; tr != nil {
+		s.hLatency = make(map[string]*obs.Histogram)
+		for _, cmd := range []string{"QSUB", "QDEL", "QDELHEAD", "QSTAT", "PING"} {
+			s.hLatency[cmd] = tr.Histogram("pbsd.latency." + strings.ToLower(cmd))
+		}
+		s.cProtoErrors = tr.Counter("pbsd.errors")
+		s.cLineTooLong = tr.Counter("pbsd.errors.line_too_long")
 	}
 	return s, nil
 }

@@ -1,0 +1,159 @@
+// Trace report rendering: the obs.Snapshot interchange form becomes
+// aligned tables for the terminal, concatenated CSV sections for
+// external plotting, or raw JSON.
+
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"redreq/internal/obs"
+)
+
+// RenderTrace writes a human-readable trace report: one table per
+// instrument kind. Series are summarized (the CSV and JSON forms carry
+// the full points).
+func RenderTrace(w io.Writer, snap obs.Snapshot) error {
+	if snap.Empty() {
+		_, err := io.WriteString(w, "trace: no instruments recorded\n")
+		return err
+	}
+	if len(snap.Counters) > 0 {
+		t := NewTable("Trace counters", "name", "value")
+		for _, c := range snap.Counters {
+			t.AddRow(c.Name, strconv.FormatInt(c.Value, 10))
+		}
+		if err := renderSection(w, t); err != nil {
+			return err
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		t := NewTable("Trace gauges", "name", "value", "max")
+		for _, g := range snap.Gauges {
+			t.AddRow(g.Name, strconv.FormatInt(g.Value, 10), strconv.FormatInt(g.Max, 10))
+		}
+		if err := renderSection(w, t); err != nil {
+			return err
+		}
+	}
+	if len(snap.Hists) > 0 {
+		t := NewTable("Trace latency histograms (seconds)",
+			"name", "count", "mean", "p50", "p95", "p99", "min", "max")
+		for _, h := range snap.Hists {
+			t.AddRow(h.Name, strconv.FormatInt(h.Count, 10),
+				sci(h.Mean), sci(h.P50), sci(h.P95), sci(h.P99), sci(h.Min), sci(h.Max))
+		}
+		if err := renderSection(w, t); err != nil {
+			return err
+		}
+	}
+	if len(snap.Series) > 0 {
+		t := NewTable("Trace time series (virtual seconds)",
+			"name", "samples", "points", "t-first", "t-last", "v-min", "v-mean", "v-max")
+		for _, s := range snap.Series {
+			t.AddRow(seriesSummaryRow(s)...)
+		}
+		if err := renderSection(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderSection(w io.Writer, t *Table) error {
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func seriesSummaryRow(s obs.SeriesSnap) []string {
+	row := []string{s.Name, strconv.FormatInt(s.Total, 10), strconv.Itoa(len(s.Points))}
+	if len(s.Points) == 0 {
+		return append(row, "-", "-", "-", "-", "-")
+	}
+	min, max, sum := s.Points[0].V, s.Points[0].V, 0.0
+	for _, p := range s.Points {
+		if p.V < min {
+			min = p.V
+		}
+		if p.V > max {
+			max = p.V
+		}
+		sum += p.V
+	}
+	return append(row,
+		Cell(s.Points[0].T, 1), Cell(s.Points[len(s.Points)-1].T, 1),
+		Cell(min, 1), Cell(sum/float64(len(s.Points)), 2), Cell(max, 1))
+}
+
+// sci formats a latency in seconds compactly across the microsecond to
+// second range.
+func sci(v float64) string { return strconv.FormatFloat(v, 'g', 4, 64) }
+
+// WriteTraceCSV writes the full trace as concatenated CSV sections
+// (counters, gauges, histograms, histogram buckets, series points),
+// each introduced by a comment line. Unlike RenderTrace it carries
+// every retained series point and histogram bucket.
+func WriteTraceCSV(w io.Writer, snap obs.Snapshot) error {
+	if len(snap.Counters) > 0 {
+		t := NewTable("counters", "name", "value")
+		for _, c := range snap.Counters {
+			t.AddRow(c.Name, strconv.FormatInt(c.Value, 10))
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		t := NewTable("gauges", "name", "value", "max")
+		for _, g := range snap.Gauges {
+			t.AddRow(g.Name, strconv.FormatInt(g.Value, 10), strconv.FormatInt(g.Max, 10))
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	if len(snap.Hists) > 0 {
+		t := NewTable("histograms", "name", "count", "sum", "mean", "p50", "p95", "p99", "min", "max")
+		b := NewTable("histogram_buckets", "name", "le", "count")
+		for _, h := range snap.Hists {
+			t.AddRow(h.Name, strconv.FormatInt(h.Count, 10), g(h.Sum),
+				g(h.Mean), g(h.P50), g(h.P95), g(h.P99), g(h.Min), g(h.Max))
+			for _, bk := range h.Buckets {
+				b.AddRow(h.Name, g(bk.Le), strconv.FormatInt(bk.Count, 10))
+			}
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+		if err := b.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	if len(snap.Series) > 0 {
+		t := NewTable("series_points", "name", "t", "v")
+		for _, s := range snap.Series {
+			for _, p := range s.Points {
+				t.AddRow(s.Name, g(p.T), g(p.V))
+			}
+		}
+		if err := t.WriteCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteTraceJSON writes the snapshot as indented JSON.
+func WriteTraceJSON(w io.Writer, snap obs.Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}

@@ -1,0 +1,88 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"redreq/internal/obs"
+)
+
+func sampleTrace() obs.Snapshot {
+	tr := obs.New()
+	tr.Counter("des.fired").Add(42)
+	tr.Counter("core.losers").Add(7)
+	tr.Gauge("des.queue").Set(9)
+	tr.Gauge("des.queue").Set(3)
+	h := tr.Histogram("pbsd.latency.qsub")
+	h.Observe(0.001)
+	h.Observe(0.004)
+	s := tr.Series("sched.c0.queue_depth")
+	s.Sample(0, 1)
+	s.Sample(10, 5)
+	s.Sample(20, 2)
+	return tr.Snapshot()
+}
+
+func TestRenderTrace(t *testing.T) {
+	var b strings.Builder
+	if err := RenderTrace(&b, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Trace counters", "des.fired", "42",
+		"Trace gauges", "des.queue",
+		"Trace latency histograms", "pbsd.latency.qsub",
+		"Trace time series", "sched.c0.queue_depth",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderTraceEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := RenderTrace(&b, obs.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no instruments") {
+		t.Errorf("empty trace report = %q", b.String())
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTraceCSV(&b, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# counters", "des.fired,42",
+		"# gauges", "des.queue,3,9",
+		"# histograms", "# histogram_buckets",
+		"# series_points", "sched.c0.queue_depth,10,5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTraceJSON(&b, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if snap.Counter("des.fired") != 42 {
+		t.Errorf("round-tripped des.fired = %d", snap.Counter("des.fired"))
+	}
+	if len(snap.Series) != 1 || len(snap.Series[0].Points) != 3 {
+		t.Errorf("round-tripped series shape: %+v", snap.Series)
+	}
+}

@@ -46,6 +46,7 @@ func (c *Cluster) reserveCBF(r *Request, now float64) {
 	}
 	c.profile.AddBusy(anchor, anchor+r.Estimate, r.Nodes)
 	r.resStart = anchor
+	c.cReservations.Inc()
 	if math.IsNaN(r.Reserved) {
 		r.Reserved = anchor
 	}
@@ -85,6 +86,7 @@ func (c *Cluster) armTimer(r *Request, at float64) {
 // is removed, reservations can only move earlier, preserving CBF's
 // promise.
 func (c *Cluster) compressCBF(now float64) {
+	c.cCompressions.Inc()
 	for i := 0; i < len(c.queue); i++ {
 		r := c.queue[i]
 		if r == nil || r.State != Pending || math.IsNaN(r.resStart) {

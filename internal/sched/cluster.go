@@ -13,6 +13,7 @@ import (
 	"math"
 
 	"redreq/internal/des"
+	"redreq/internal/obs"
 )
 
 // Algorithm selects the job scheduling algorithm of a cluster.
@@ -214,6 +215,16 @@ type Cluster struct {
 	OnFinish func(*Request)
 
 	stats Stats
+
+	// Trace instruments, resolved once by SetTrace; nil (free no-ops)
+	// when tracing is off. backfilling flags starts made by the EASY
+	// backfill loop so start() can attribute them.
+	sQueueDepth     *obs.Series
+	cStartsInOrder  *obs.Counter
+	cStartsBackfill *obs.Counter
+	cReservations   *obs.Counter
+	cCompressions   *obs.Counter
+	backfilling     bool
 }
 
 // NewCluster creates a cluster attached to sim. It panics on an
@@ -233,6 +244,34 @@ func NewCluster(sim *des.Simulation, name string, index int, cfg Config) *Cluste
 		c.profile = NewProfile(sim.Now(), cfg.Nodes)
 	}
 	return c
+}
+
+// SetTrace attaches trace instruments to the cluster: a
+// sched.<name>.queue_depth virtual-time series sampled on every queue
+// transition, counters sched.starts.in_order and sched.starts.backfill
+// splitting start decisions by how they were made, sched.reservations
+// (CBF reservations granted), and sched.compressions (CBF compression
+// passes). A nil trace detaches them.
+func (c *Cluster) SetTrace(t *obs.Trace) {
+	if t == nil {
+		c.sQueueDepth, c.cStartsInOrder, c.cStartsBackfill = nil, nil, nil
+		c.cReservations, c.cCompressions = nil, nil
+		return
+	}
+	c.sQueueDepth = t.Series("sched." + c.Name + ".queue_depth")
+	c.cStartsInOrder = t.Counter("sched.starts.in_order")
+	c.cStartsBackfill = t.Counter("sched.starts.backfill")
+	c.cReservations = t.Counter("sched.reservations")
+	c.cCompressions = t.Counter("sched.compressions")
+}
+
+// sampleQueueDepth records the pending-queue depth at the current
+// virtual time; no-op when tracing is off.
+func (c *Cluster) sampleQueueDepth() {
+	if c.sQueueDepth == nil {
+		return
+	}
+	c.sQueueDepth.Sample(c.sim.Now(), float64(c.QueueLen()))
 }
 
 // Nodes returns the cluster's node count.
@@ -278,6 +317,7 @@ func (c *Cluster) Submit(r *Request) {
 	if q := c.QueueLen(); q > c.stats.MaxQueue {
 		c.stats.MaxQueue = q
 	}
+	c.sampleQueueDepth()
 	c.kick()
 }
 
@@ -295,6 +335,7 @@ func (c *Cluster) Cancel(r *Request) bool {
 	r.State = Canceled
 	c.removeFromQueue(r)
 	c.stats.Canceled++
+	c.sampleQueueDepth()
 	if c.cfg.Alg == CBF {
 		if r.startEv != nil {
 			c.sim.Cancel(r.startEv)
@@ -403,6 +444,12 @@ func (c *Cluster) start(r *Request) {
 	if len(c.running) > c.stats.MaxRunning {
 		c.stats.MaxRunning = len(c.running)
 	}
+	if c.backfilling {
+		c.cStartsBackfill.Inc()
+	} else {
+		c.cStartsInOrder.Inc()
+	}
+	c.sampleQueueDepth()
 	if r.startEv != nil {
 		c.sim.Cancel(r.startEv)
 		r.startEv = nil

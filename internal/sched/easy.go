@@ -45,6 +45,7 @@ func (c *Cluster) passEASY() {
 	prof := c.buildRunningProfile(now)
 	shadow := prof.FindAnchor(now, head.Estimate, head.Nodes)
 	prof.AddBusy(shadow, shadow+head.Estimate, head.Nodes)
+	c.backfilling = true
 	for j := i + 1; j < len(c.queue) && c.free > 0; j++ {
 		r := c.queue[j]
 		if r == nil || r.State != Pending || r.Nodes > c.free {
@@ -55,4 +56,5 @@ func (c *Cluster) passEASY() {
 			prof.AddBusy(now, now+r.Estimate, r.Nodes)
 		}
 	}
+	c.backfilling = false
 }
