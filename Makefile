@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test check bench fmt
+# Label recorded with `make bench` entries in BENCH_core.json
+# (override: make bench BENCH_LABEL=pr3-after).
+BENCH_LABEL ?= dev
+
+.PHONY: build test check bench bench-all fmt
 
 build:
 	$(GO) build ./...
@@ -8,13 +12,24 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the full verification gate: static analysis plus the whole
-# test suite under the race detector.
+# check is the full verification gate: static analysis, the whole test
+# suite under the race detector, and a one-iteration benchmark smoke so
+# bench code cannot silently rot.
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run=NONE -bench=Engine -benchtime=1x .
 
+# bench runs the core simulator benchmarks and appends the numbers to
+# BENCH_core.json (jobs/s from BenchmarkSimulationCore, ns/op and
+# allocs/op from BenchmarkEngine). See README "Performance".
 bench:
+	$(GO) test -run=NONE -bench='SimulationCore$$|Engine' -benchmem . \
+		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_core.json
+
+# bench-all runs every benchmark (per-table/figure experiment drivers,
+# middleware, daemon, trace parsing) without recording history.
+bench-all:
 	$(GO) test -bench=. -benchmem
 
 fmt:

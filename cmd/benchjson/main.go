@@ -1,0 +1,136 @@
+// Command benchjson turns `go test -bench` output into a recorded
+// benchmark trajectory. It reads benchmark output on stdin, echoes it
+// unchanged to stdout (so it can sit at the end of a pipe without
+// hiding results), and appends one labeled entry to a JSON history
+// file. The history seeds regression comparisons: future PRs diff
+// their numbers against the recorded ones instead of against memory.
+//
+// Usage:
+//
+//	go test -run=NONE -bench='SimulationCore|Engine' -benchmem . | benchjson -label after -out BENCH_core.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark line: its name (without the "Benchmark"
+// prefix and -GOMAXPROCS suffix), iteration count, and every reported
+// metric keyed by unit (ns/op, B/op, allocs/op, custom metrics like
+// jobs/s).
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Entry is one recorded benchmark run.
+type Entry struct {
+	Label      string      `json:"label"`
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// History is the on-disk format of the benchmark trajectory.
+type History struct {
+	Entries []Entry `json:"entries"`
+}
+
+func main() {
+	label := flag.String("label", "dev", "label recorded with this entry (e.g. baseline, pr2)")
+	out := flag.String("out", "BENCH_core.json", "benchmark history file to append to")
+	flag.Parse()
+
+	entry := Entry{Label: *label}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			entry.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			entry.GOARCH = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			entry.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			entry.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				entry.Benchmarks = append(entry.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(entry.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin; history not updated")
+		os.Exit(1)
+	}
+
+	var hist History
+	if raw, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(raw, &hist); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a history file: %v\n", *out, err)
+			os.Exit(1)
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	hist.Entries = append(hist.Entries, entry)
+
+	enc, err := json.MarshalIndent(&hist, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks as %q in %s (%d entries)\n",
+		len(entry.Benchmarks), *label, *out, len(hist.Entries))
+}
+
+// parseBench parses one benchmark result line:
+//
+//	BenchmarkEngine/trace=off-8  5  246078321 ns/op  3817436 B/op  70847 allocs/op
+func parseBench(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(fields[0], "Benchmark")
+	// Strip the -GOMAXPROCS suffix, if present, from the last segment.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"redreq/internal/sched"
+	"redreq/internal/workload"
+)
+
+// eqF treats NaN == NaN (Predicted is NaN when prediction is off).
+func eqF(a, b float64) bool { return a == b || (math.IsNaN(a) && math.IsNaN(b)) }
+
+func recordsEqual(a, b JobRecord) bool {
+	return a.ID == b.ID && a.Home == b.Home && a.Redundant == b.Redundant &&
+		a.Copies == b.Copies && a.Nodes == b.Nodes && a.Winner == b.Winner &&
+		eqF(a.Submit, b.Submit) && eqF(a.Runtime, b.Runtime) &&
+		eqF(a.Estimate, b.Estimate) && eqF(a.Start, b.Start) &&
+		eqF(a.End, b.End) && eqF(a.Predicted, b.Predicted)
+}
+
+// Two Runs with the same Config (including Seed) must produce
+// identical job timelines. This is the guardrail the hot-path
+// optimizations (event pooling, O(1) cancels, bounded CBF compression)
+// rely on: any divergence in event ordering or scheduling decisions
+// shows up here as a differing timeline.
+func TestRunSameSeedIdenticalTimelines(t *testing.T) {
+	configs := map[string]Config{
+		"easy-all": {
+			Clusters: []ClusterSpec{{Nodes: 64}, {Nodes: 64}, {Nodes: 64}, {Nodes: 64}},
+			Alg:      sched.EASY, Scheme: SchemeAll,
+			RedundantFraction: 1, Selection: SelUniform,
+			Horizon: 1800, EstMode: workload.Exact,
+			TargetLoad: 0.9, MinRuntime: 30, MaxRuntime: 7200,
+			Seed: 77,
+		},
+		// CBF past saturation with a mixed population exercises
+		// reservations, cancels, and compression — the paths the
+		// bounded compression search rewrote.
+		"cbf-contended": {
+			Clusters: []ClusterSpec{{Nodes: 32}, {Nodes: 32}, {Nodes: 32}},
+			Alg:      sched.CBF, Scheme: SchemeAll,
+			RedundantFraction: 0.4, Selection: SelUniform,
+			Horizon: 1800, EstMode: workload.Phi,
+			TargetLoad: 1.1, MinRuntime: 30, MaxRuntime: 7200,
+			Predict: true, Seed: 78,
+		},
+		"cbf-compress-on-cancel": {
+			Clusters: []ClusterSpec{{Nodes: 32}, {Nodes: 32}},
+			Alg:      sched.CBF, Scheme: SchemeAll,
+			RedundantFraction: 1, Selection: SelUniform,
+			Horizon: 1200, EstMode: workload.Phi,
+			TargetLoad: 1.0, MinRuntime: 30, MaxRuntime: 7200,
+			CompressOnCancel: true, Seed: 79,
+		},
+	}
+	for name, cfg := range configs {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			a, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Events != b.Events {
+				t.Fatalf("event counts differ: %d vs %d", a.Events, b.Events)
+			}
+			if len(a.Jobs) != len(b.Jobs) {
+				t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+			}
+			for i := range a.Jobs {
+				if !recordsEqual(a.Jobs[i], b.Jobs[i]) {
+					t.Fatalf("job %d differs:\n  %+v\n  %+v", i, a.Jobs[i], b.Jobs[i])
+				}
+			}
+			if a.MakeSpan != b.MakeSpan {
+				t.Fatalf("makespans differ: %v vs %v", a.MakeSpan, b.MakeSpan)
+			}
+		})
+	}
+}

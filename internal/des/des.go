@@ -4,6 +4,15 @@
 // paper; since the paper's simulations ignore all network overheads
 // (Section 3.1.2), event-driven process scheduling is the only facility
 // required.
+//
+// Event structs are pooled: once an event has fired or a canceled
+// event has been reaped from the queue, its struct is recycled by a
+// later Schedule call. Callers must therefore drop their references to
+// an event when it fires (conventionally, the event's own action nils
+// the field holding it) and after canceling it; passing a recycled
+// pointer to Cancel would cancel an unrelated live event. Every caller
+// in this repository follows that discipline; see DESIGN.md
+// ("Hot-path complexity").
 package des
 
 import (
@@ -17,14 +26,17 @@ import (
 type Event struct {
 	Time     float64
 	Priority int
-	Action   func()
 
+	fn       func(any)
+	arg      any
 	seq      uint64
 	index    int // heap index, -1 when not queued
 	canceled bool
 }
 
-// Canceled reports whether the event has been canceled.
+// Canceled reports whether the event has been canceled. It is only
+// meaningful while the caller still legitimately holds the event (see
+// the package comment on pooling).
 func (e *Event) Canceled() bool { return e.canceled }
 
 type eventHeap []*Event
@@ -66,6 +78,7 @@ type Simulation struct {
 	queue     eventHeap
 	seq       uint64
 	processed uint64
+	free      []*Event // recycled Event structs
 
 	// Trace instruments, resolved once by SetTrace; all nil (free
 	// no-ops) when tracing is off, keeping the hot loop unchanged.
@@ -102,55 +115,88 @@ func (s *Simulation) Processed() uint64 { return s.processed }
 // canceled events not yet reaped).
 func (s *Simulation) Pending() int { return len(s.queue) }
 
+// runClosure is the fn of events scheduled with Schedule/ScheduleP:
+// the closure itself rides in the event's arg slot.
+func runClosure(a any) { a.(func())() }
+
 // Schedule queues action to run at time at with priority 0. Scheduling
 // in the past panics: it indicates a simulation bug.
 func (s *Simulation) Schedule(at float64, action func()) *Event {
-	return s.ScheduleP(at, 0, action)
+	return s.ScheduleFn(at, 0, runClosure, action)
 }
 
 // ScheduleP queues action to run at time at with an explicit priority;
 // among events with equal time, lower priorities run first, and equal
-// priorities run in insertion order.
+// priorities run in insertion order. The returned Event may be a
+// recycled struct; it is valid until it fires or is canceled.
 func (s *Simulation) ScheduleP(at float64, priority int, action func()) *Event {
+	return s.ScheduleFn(at, priority, runClosure, action)
+}
+
+// ScheduleFn queues fn(arg) to run at time at. It is the
+// allocation-free form of ScheduleP: when fn is a package-level
+// function and arg a pointer, scheduling an event costs no heap
+// allocation at all (a per-event closure would), which matters on the
+// simulator hot path where every start schedules a completion and
+// every state change schedules a pass.
+func (s *Simulation) ScheduleFn(at float64, priority int, fn func(any), arg any) *Event {
 	if at < s.now {
 		panic("des: scheduling event in the past")
 	}
 	s.seq++
-	e := &Event{Time: at, Priority: priority, Action: action, seq: s.seq, index: -1}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.Time, e.Priority, e.fn, e.arg = at, priority, fn, arg
+		e.seq, e.index, e.canceled = s.seq, -1, false
+	} else {
+		e = &Event{Time: at, Priority: priority, fn: fn, arg: arg, seq: s.seq, index: -1}
+	}
 	heap.Push(&s.queue, e)
 	s.cScheduled.Inc()
 	s.gQueue.Set(int64(len(s.queue)))
 	return e
 }
 
-// Cancel marks e so its action will not run. Canceling nil, an
-// already-fired, or an already-canceled event is a no-op.
+// recycle returns a popped event to the free list. The action and its
+// argument are dropped immediately so they do not outlive the event.
+func (s *Simulation) recycle(e *Event) {
+	e.fn, e.arg = nil, nil
+	s.free = append(s.free, e)
+}
+
+// Cancel marks e so its action will not run; the event is reaped (and
+// its struct recycled) when it reaches the head of the queue. Cancel
+// is O(1). Canceling nil or an already-canceled event is a no-op;
+// canceling an event that has already fired is a misuse — the struct
+// may have been recycled for an unrelated event (see the package
+// comment).
 func (s *Simulation) Cancel(e *Event) {
-	if e == nil {
-		return
-	}
-	if e.canceled || e.index < 0 {
-		// Already canceled, or already fired (popped from the queue):
-		// mark it so Canceled() reports true either way.
-		e.canceled = true
+	if e == nil || e.canceled {
 		return
 	}
 	e.canceled = true
-	heap.Remove(&s.queue, e.index)
 	s.cCanceled.Inc()
 }
 
 // Step executes the next event, if any, and reports whether one ran.
+// Canceled events encountered at the head are reaped and recycled.
 func (s *Simulation) Step() bool {
 	for len(s.queue) > 0 {
 		e := heap.Pop(&s.queue).(*Event)
 		if e.canceled {
+			s.recycle(e)
 			continue
 		}
 		s.now = e.Time
 		s.processed++
 		s.cFired.Inc()
-		e.Action()
+		e.fn(e.arg)
+		// Recycle after the action: events scheduled from within it can
+		// never alias the struct that is still firing.
+		s.recycle(e)
 		return true
 	}
 	return false
@@ -163,10 +209,13 @@ func (s *Simulation) Run() {
 }
 
 // RunUntil executes events with Time <= t, then advances the clock to
-// t. Events scheduled beyond t remain queued.
+// t. Events scheduled beyond t remain queued. Peek (rather than the
+// raw queue head) decides whether to step, so canceled events sitting
+// at the head with Time <= t cannot push execution past the deadline.
 func (s *Simulation) RunUntil(t float64) {
-	for len(s.queue) > 0 {
-		if s.queue[0].Time > t {
+	for {
+		at, ok := s.Peek()
+		if !ok || at > t {
 			break
 		}
 		s.Step()
@@ -177,11 +226,12 @@ func (s *Simulation) RunUntil(t float64) {
 }
 
 // Peek returns the time of the next non-canceled event and true, or 0
-// and false when the queue is empty.
+// and false when the queue is empty. Canceled events at the head are
+// reaped and recycled.
 func (s *Simulation) Peek() (float64, bool) {
 	for len(s.queue) > 0 {
 		if s.queue[0].canceled {
-			heap.Pop(&s.queue)
+			s.recycle(heap.Pop(&s.queue).(*Event))
 			continue
 		}
 		return s.queue[0].Time, true

@@ -82,11 +82,10 @@ func TestCancel(t *testing.T) {
 	if !e.Canceled() {
 		t.Fatal("event not marked canceled")
 	}
-	// Double-cancel and cancel-after-run are no-ops.
+	// Double-cancel before the event is reaped is a no-op.
 	s.Cancel(e)
-	e2 := s.Schedule(2, func() {})
+	s.Schedule(2, func() {})
 	s.Run()
-	s.Cancel(e2)
 }
 
 func TestCancelFromWithinEvent(t *testing.T) {
@@ -199,27 +198,72 @@ func TestDoubleCancel(t *testing.T) {
 	if !e.Canceled() {
 		t.Fatal("event not marked canceled")
 	}
+	// Cancellation is lazy: the event stays queued until reaped.
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after double cancel, want 1 (unreaped)", s.Pending())
+	}
+	if _, ok := s.Peek(); ok {
+		t.Fatal("Peek saw the canceled event")
+	}
 	if s.Pending() != 0 {
-		t.Fatalf("Pending = %d after double cancel", s.Pending())
+		t.Fatalf("Pending = %d after Peek reaped, want 0", s.Pending())
 	}
 	s.Run()
 }
 
-func TestCancelAfterFire(t *testing.T) {
+// Fired and reaped events are recycled through the free list: the next
+// Schedule reuses the struct instead of allocating.
+func TestEventPooling(t *testing.T) {
 	s := New()
-	fired := 0
-	e := s.Schedule(1, func() { fired++ })
+	e1 := s.Schedule(1, func() {})
 	s.Run()
-	if fired != 1 {
-		t.Fatalf("fired = %d", fired)
+	e2 := s.Schedule(2, func() {})
+	if e1 != e2 {
+		t.Fatal("fired event struct was not recycled")
 	}
-	s.Cancel(e) // no-op on an already-fired event
-	if !e.Canceled() {
-		t.Fatal("cancel-after-fire should still mark the event")
+	if e2.Canceled() {
+		t.Fatal("recycled event inherited the canceled flag")
 	}
-	s.Run()
-	if fired != 1 {
-		t.Fatalf("event fired again: %d", fired)
+	s.Cancel(e2)
+	if _, ok := s.Peek(); ok { // reaps the canceled event
+		t.Fatal("Peek saw a canceled event")
+	}
+	e3 := s.Schedule(3, func() {})
+	if e3 != e2 {
+		t.Fatal("reaped canceled event struct was not recycled")
+	}
+	if e3.Canceled() {
+		t.Fatal("recycled event inherited the canceled flag")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Run()
+		s.Schedule(s.Now()+1, func() {})
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule/fire allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// Regression for RunUntil: canceled events at the heap head with
+// Time <= t used to be popped by Step, which then fired the *next*
+// non-canceled event even when its Time > t, advancing the clock past
+// the deadline.
+func TestRunUntilCanceledHeadDeadline(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.Schedule(1, func() { t.Fatal("canceled event fired") })
+	s.Schedule(10, func() { fired = true })
+	s.Cancel(e)
+	s.RunUntil(5)
+	if fired {
+		t.Fatal("RunUntil(5) fired an event scheduled at 10")
+	}
+	if s.Now() != 5 {
+		t.Fatalf("Now = %v, want 5", s.Now())
+	}
+	s.RunUntil(10)
+	if !fired {
+		t.Fatal("event at 10 did not fire by RunUntil(10)")
 	}
 }
 

@@ -129,7 +129,9 @@ func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	type task struct{ v, r int }
-	tasks := make(chan task)
+	// Buffered to workers so the producer loop does not serialize on
+	// per-task handoff with an idle worker.
+	tasks := make(chan task, workers)
 	results := make([][]*core.Result, len(variants))
 	for i := range results {
 		results[i] = make([]*core.Result, opts.Reps)
@@ -138,6 +140,7 @@ func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		failed   atomic.Bool
 		done     atomic.Int64
 	)
 	total := len(variants) * opts.Reps
@@ -165,6 +168,7 @@ func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 						firstErr = fmt.Errorf("experiment: variant %q rep %d: %w", variants[t.v].Name, t.r, err)
 					}
 					mu.Unlock()
+					failed.Store(true)
 				} else {
 					results[t.v][t.r] = res
 					opts.Trace.Merge(cfg.Trace)
@@ -177,8 +181,15 @@ func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 			}
 		}()
 	}
+	// Stop feeding work as soon as a simulation fails: the remaining
+	// (variant, rep) pairs would be discarded along with firstErr
+	// anyway, and a failed matrix should not burn the full budget.
+enqueue:
 	for v := range variants {
 		for r := 0; r < opts.Reps; r++ {
+			if failed.Load() {
+				break enqueue
+			}
 			tasks <- task{v, r}
 		}
 	}

@@ -72,11 +72,15 @@ func (c *Cluster) armTimer(r *Request, at float64) {
 	if r.startEv != nil {
 		c.sim.Cancel(r.startEv)
 	}
-	req := r
-	r.startEv = c.sim.ScheduleP(at, 1, func() {
-		req.startEv = nil
-		c.pass()
-	})
+	r.startEv = c.sim.ScheduleFn(at, 1, timerAction, r)
+}
+
+// timerAction fires a CBF reservation timer: the reservation is due,
+// so run a pass (which will start the request via startReserved).
+func timerAction(a any) {
+	r := a.(*Request)
+	r.startEv = nil
+	r.cluster.pass()
 }
 
 // compressCBF re-anchors every pending reservation in queue order after
@@ -85,23 +89,60 @@ func (c *Cluster) armTimer(r *Request, at float64) {
 // old slot is always still feasible once the request's own allocation
 // is removed, reservations can only move earlier, preserving CBF's
 // promise.
+//
+// The search is bounded by the released-capacity window [relStart,
+// relEnd) the cluster has accumulated since the last compression: an
+// anchor earlier than a request's current reservation can only have
+// become feasible if its occupancy window [anchor, anchor+Estimate)
+// overlaps capacity released since the request was last anchored
+// (consumptions never enable earlier anchors). So for each request the
+// scan is restricted to anchors in [max(now, relStart-Estimate),
+// min(old, relEnd)); when that interval is empty the reservation
+// provably cannot move and the profile walk is skipped entirely.
+// Capacity released mid-pass — by compression moves themselves and by
+// cancellations fired from start callbacks — widens the live window,
+// and is carried into c.relStart/c.relEnd for the next pass because
+// requests earlier in the queue were examined before the release.
 func (c *Cluster) compressCBF(now float64) {
 	c.cCompressions.Inc()
+	relStart, relEnd := c.relStart, c.relEnd
+	c.relStart, c.relEnd = math.Inf(1), math.Inf(-1)
 	for i := 0; i < len(c.queue); i++ {
 		r := c.queue[i]
 		if r == nil || r.State != Pending || math.IsNaN(r.resStart) {
 			continue
 		}
 		old := r.resStart
+		lo := math.Min(relStart, c.relStart) - r.Estimate
+		if lo < now {
+			lo = now
+		}
+		hi := math.Max(relEnd, c.relEnd)
+		if old < hi {
+			hi = old
+		}
+		if lo >= hi {
+			// No released capacity can admit an earlier anchor; the
+			// reservation stays. Due reservations still start, exactly
+			// as the unbounded re-anchor would have.
+			if old <= now {
+				c.startReserved(r, now)
+			}
+			continue
+		}
 		c.profile.AddBusy(old, old+r.Estimate, -r.Nodes)
-		anchor := c.profile.FindAnchor(now, r.Estimate, r.Nodes)
+		anchor := c.profile.FindAnchorLimit(lo, hi, r.Estimate, r.Nodes)
 		if anchor > old {
-			// Cannot happen when the old slot was feasible; guard
-			// against drift by keeping the promise.
+			// No earlier anchor in the improvable range; keep the
+			// promise (also absorbs the +Inf not-found result).
 			anchor = old
 		}
 		c.profile.AddBusy(anchor, anchor+r.Estimate, r.Nodes)
 		r.resStart = anchor
+		if anchor < old {
+			// The move vacated [max(old, anchor+Estimate), old+Estimate).
+			c.noteRelease(math.Max(old, anchor+r.Estimate), old+r.Estimate)
+		}
 		if anchor <= now {
 			c.startReserved(r, now)
 		} else if anchor != old {

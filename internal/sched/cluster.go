@@ -11,6 +11,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"redreq/internal/des"
 	"redreq/internal/obs"
@@ -48,33 +49,14 @@ func (a Algorithm) String() string {
 // an Algorithm.
 func ParseAlgorithm(name string) (Algorithm, error) {
 	switch {
-	case equalFold(name, "fcfs"):
+	case strings.EqualFold(name, "fcfs"):
 		return FCFS, nil
-	case equalFold(name, "easy"):
+	case strings.EqualFold(name, "easy"):
 		return EASY, nil
-	case equalFold(name, "cbf"):
+	case strings.EqualFold(name, "cbf"):
 		return CBF, nil
 	}
 	return 0, fmt.Errorf("sched: unknown algorithm %q", name)
-}
-
-func equalFold(a, b string) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := 0; i < len(a); i++ {
-		ca, cb := a[i], b[i]
-		if 'A' <= ca && ca <= 'Z' {
-			ca += 'a' - 'A'
-		}
-		if 'A' <= cb && cb <= 'Z' {
-			cb += 'a' - 'A'
-		}
-		if ca != cb {
-			return false
-		}
-	}
-	return true
 }
 
 // State is the lifecycle state of a Request at one cluster.
@@ -112,6 +94,11 @@ func (s State) String() string {
 type Request struct {
 	// JobID identifies the (grid) job this request belongs to.
 	JobID int64
+	// Owner is an opaque slot for the submitter's per-job bookkeeping
+	// (the redundant-request engine keeps its grid-job record here,
+	// replacing a request-to-job map on the hot path); the scheduler
+	// never reads or writes it.
+	Owner any
 	// Nodes is the number of compute nodes requested.
 	Nodes int
 	// Runtime is the job's actual execution time in seconds; the
@@ -136,6 +123,7 @@ type Request struct {
 	startEv  *des.Event // CBF reservation timer
 	finishEv *des.Event
 	queued   bool
+	slot     int // index in cluster.queue while queued; -1 otherwise
 }
 
 // Wait returns the request's queue waiting time; it panics if the
@@ -206,6 +194,19 @@ type Cluster struct {
 	inPass       bool
 	needCompact  bool
 
+	// Released-capacity window since the last CBF compression pass:
+	// [relStart, relEnd) bounds the union of every interval over which
+	// availability increased (early completions, cancellations, and
+	// compression moves). Compression only searches for earlier
+	// anchors where that window could admit one; (+Inf, -Inf) means no
+	// capacity was released.
+	relStart, relEnd float64
+
+	// scratch is the reusable availability profile for the transient
+	// EASY/FCFS passes (buildRunningProfile); reusing it keeps
+	// scheduling passes allocation-free after warmup.
+	scratch *Profile
+
 	kickEv *des.Event
 
 	// OnStart is called when a request begins execution, before its
@@ -234,11 +235,13 @@ func NewCluster(sim *des.Simulation, name string, index int, cfg Config) *Cluste
 		panic("sched: cluster needs at least one node")
 	}
 	c := &Cluster{
-		Name:  name,
-		Index: index,
-		sim:   sim,
-		cfg:   cfg,
-		free:  cfg.Nodes,
+		Name:     name,
+		Index:    index,
+		sim:      sim,
+		cfg:      cfg,
+		free:     cfg.Nodes,
+		relStart: math.Inf(1),
+		relEnd:   math.Inf(-1),
 	}
 	if cfg.Alg == CBF {
 		c.profile = NewProfile(sim.Now(), cfg.Nodes)
@@ -312,6 +315,7 @@ func (c *Cluster) Submit(r *Request) {
 	r.resStart = math.NaN()
 	r.State = Pending
 	r.queued = true
+	r.slot = len(c.queue)
 	c.queue = append(c.queue, r)
 	c.stats.Submitted++
 	if q := c.QueueLen(); q > c.stats.MaxQueue {
@@ -344,6 +348,7 @@ func (c *Cluster) Cancel(r *Request) bool {
 		if !math.IsNaN(r.resStart) {
 			// Release the reservation's profile allocation.
 			c.profile.AddBusy(r.resStart, r.resStart+r.Estimate, -r.Nodes)
+			c.noteRelease(r.resStart, r.resStart+r.Estimate)
 			r.resStart = math.NaN()
 		}
 		if c.cfg.CompressOnCancel && !c.cfg.DisableCompression {
@@ -356,18 +361,22 @@ func (c *Cluster) Cancel(r *Request) bool {
 	return true
 }
 
+// removeFromQueue clears the request's queue slot in O(1) using the
+// index recorded at Submit and maintained by compactQueue. Under
+// SchemeAll most requests leave the queue through this path (all but
+// one copy per job is canceled), so a linear scan here is quadratic
+// over a saturated queue.
 func (c *Cluster) removeFromQueue(r *Request) {
 	if !r.queued {
 		return
 	}
 	r.queued = false
-	for i, q := range c.queue {
-		if q == r {
-			c.queue[i] = nil
-			c.holes++
-			break
-		}
+	if r.slot < 0 || r.slot >= len(c.queue) || c.queue[r.slot] != r {
+		panic(fmt.Sprintf("sched: %s: corrupt queue slot %d for job %d", c.Name, r.slot, r.JobID))
 	}
+	c.queue[r.slot] = nil
+	r.slot = -1
+	c.holes++
 	if c.holes > 64 && c.holes*4 > len(c.queue) {
 		if c.inPass {
 			// Passes iterate the queue by index; defer compaction.
@@ -383,6 +392,7 @@ func (c *Cluster) compactQueue() {
 	for _, q := range c.queue {
 		if q != nil {
 			c.queue[w] = q
+			q.slot = w
 			w++
 		}
 	}
@@ -400,10 +410,20 @@ func (c *Cluster) kick() {
 	if c.kickEv != nil {
 		return
 	}
-	c.kickEv = c.sim.ScheduleP(c.sim.Now(), 1, func() {
-		c.kickEv = nil
-		c.pass()
-	})
+	c.kickEv = c.sim.ScheduleFn(c.sim.Now(), 1, kickAction, c)
+}
+
+// kickAction and finishAction are the package-level event actions of
+// the two per-job hot paths; ScheduleFn with these never allocates.
+func kickAction(a any) {
+	c := a.(*Cluster)
+	c.kickEv = nil
+	c.pass()
+}
+
+func finishAction(a any) {
+	r := a.(*Request)
+	r.cluster.finish(r)
 }
 
 // pass runs one scheduling pass for the cluster's algorithm.
@@ -454,7 +474,7 @@ func (c *Cluster) start(r *Request) {
 		c.sim.Cancel(r.startEv)
 		r.startEv = nil
 	}
-	r.finishEv = c.sim.Schedule(now+r.Runtime, func() { c.finish(r) })
+	r.finishEv = c.sim.ScheduleFn(now+r.Runtime, 0, finishAction, r)
 	if c.OnStart != nil {
 		c.OnStart(r)
 	}
@@ -486,6 +506,7 @@ func (c *Cluster) finish(r *Request) {
 		end := r.Start + r.Estimate
 		if now < end {
 			c.profile.AddBusy(now, end, -r.Nodes)
+			c.noteRelease(now, end)
 		}
 		if !c.cfg.DisableCompression {
 			c.needCompress = true
@@ -494,6 +515,17 @@ func (c *Cluster) finish(r *Request) {
 	c.kick()
 	if c.OnFinish != nil {
 		c.OnFinish(r)
+	}
+}
+
+// noteRelease widens the released-capacity window consulted by the
+// next CBF compression pass to cover [start, end).
+func (c *Cluster) noteRelease(start, end float64) {
+	if start < c.relStart {
+		c.relStart = start
+	}
+	if end > c.relEnd {
+		c.relEnd = end
 	}
 }
 

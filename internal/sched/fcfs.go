@@ -22,11 +22,21 @@ func (c *Cluster) passFCFS() {
 	}
 }
 
-// buildRunningProfile returns a fresh profile of free nodes implied by
-// the running set, assuming every running job holds its nodes until its
-// requested end (the scheduler does not know actual runtimes).
+// buildRunningProfile returns the free-node profile implied by the
+// running set, assuming every running job holds its nodes until its
+// requested end (the scheduler does not know actual runtimes). The
+// returned profile is the cluster's scratch profile, valid only until
+// the next buildRunningProfile call; every EASY/FCFS pass and every
+// predictNew call rebuilds it in place, so steady-state passes do not
+// allocate.
 func (c *Cluster) buildRunningProfile(now float64) *Profile {
-	p := NewProfile(now, c.cfg.Nodes)
+	p := c.scratch
+	if p == nil {
+		p = NewProfile(now, c.cfg.Nodes)
+		c.scratch = p
+	} else {
+		p.Reset(now, c.cfg.Nodes)
+	}
 	for _, r := range c.running {
 		end := r.Start + r.Estimate
 		if end > now {

@@ -101,10 +101,6 @@ func (p *Profile) AddBusy(start, end float64, nodes int) {
 	}
 	i := p.ensureBreak(start)
 	j := p.ensureBreak(end)
-	if end > p.times[len(p.times)-1] {
-		// end beyond last breakpoint: ensureBreak added it, so j
-		// indexes the segment starting at end; nothing extra needed.
-	}
 	for k := i; k < j; k++ {
 		p.avail[k] -= nodes
 	}
@@ -158,6 +154,52 @@ func (p *Profile) FindAnchor(earliest, duration float64, nodes int) float64 {
 		anchor := p.times[i]
 		if anchor < earliest {
 			anchor = earliest
+		}
+		need := anchor + duration
+		// Verify [anchor, need) has capacity; j walks forward.
+		ok := true
+		for j := i + 1; j < n && p.times[j] < need; j++ {
+			if p.avail[j] < nodes {
+				// Restart after the violation.
+				i = j + 1
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return anchor
+		}
+	}
+	return math.Inf(1)
+}
+
+// FindAnchorLimit is FindAnchor restricted to anchors strictly before
+// limit: it returns the earliest time t in [earliest, limit) such that
+// at least nodes are available throughout [t, t+duration) — the window
+// itself may extend past limit — or +Inf when no such anchor exists.
+// CBF compression uses it to bound its search to the anchor range that
+// released capacity could possibly have improved, instead of re-walking
+// the whole profile for every queued request after every completion.
+func (p *Profile) FindAnchorLimit(earliest, limit, duration float64, nodes int) float64 {
+	if earliest < p.times[0] {
+		earliest = p.times[0]
+	}
+	if earliest >= limit {
+		return math.Inf(1)
+	}
+	n := len(p.times)
+	i := p.segmentAt(earliest)
+	for i < n {
+		if p.avail[i] < nodes {
+			i++
+			continue
+		}
+		anchor := p.times[i]
+		if anchor < earliest {
+			anchor = earliest
+		}
+		if anchor >= limit {
+			return math.Inf(1)
 		}
 		need := anchor + duration
 		// Verify [anchor, need) has capacity; j walks forward.

@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+// refProfile is a brute-force per-second availability array used as
+// the oracle for Profile's step-function arithmetic.
+type refProfile struct {
+	start float64
+	avail []int // avail[i] covers [start+i, start+i+1)
+}
+
+func newRefProfile(start float64, nodes, horizon int) *refProfile {
+	r := &refProfile{start: start, avail: make([]int, horizon)}
+	for i := range r.avail {
+		r.avail[i] = nodes
+	}
+	return r
+}
+
+func (r *refProfile) addBusy(start, end float64, nodes int) {
+	for i := range r.avail {
+		t := r.start + float64(i)
+		if t >= start && t < end {
+			r.avail[i] -= nodes
+		}
+	}
+}
+
+func (r *refProfile) availAt(t float64) int {
+	i := int(t - r.start)
+	if i < 0 {
+		i = 0
+	}
+	return r.avail[i]
+}
+
+// findAnchor brute-forces the earliest integer t >= earliest with at
+// least nodes available throughout [t, t+duration); limit bounds the
+// anchor itself (use +Inf for none).
+func (r *refProfile) findAnchor(earliest, limit, duration float64, nodes int) float64 {
+	for i := 0; i < len(r.avail); i++ {
+		t := r.start + float64(i)
+		if t < earliest || t+duration > r.start+float64(len(r.avail)) {
+			continue
+		}
+		if t >= limit {
+			break
+		}
+		ok := true
+		for j := i; j < len(r.avail) && r.start+float64(j) < t+duration; j++ {
+			if r.avail[j] < nodes {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return t
+		}
+	}
+	return math.Inf(1)
+}
+
+// TestProfileAgainstBruteForce pits AddBusy / FindAnchor /
+// FindAnchorLimit / TrimBefore / coalesce against the per-second
+// reference under randomized allocate/release traffic. All times are
+// integers so the dense reference is exact.
+func TestProfileAgainstBruteForce(t *testing.T) {
+	const (
+		capacity = 16
+		opWindow = 500  // busy intervals live in [0, opWindow+maxDur)
+		horizon  = 1000 // reference array length; covers every anchor probe
+		maxDur   = 100
+	)
+	rng := rand.New(rand.NewPCG(42, 7))
+	for trial := 0; trial < 30; trial++ {
+		p := NewProfile(0, capacity)
+		ref := newRefProfile(0, capacity, horizon)
+		type alloc struct {
+			start, end float64
+			nodes      int
+		}
+		var live []alloc
+		for op := 0; op < 200; op++ {
+			if len(live) > 0 && rng.IntN(3) == 0 {
+				// Release a previously added allocation.
+				k := rng.IntN(len(live))
+				a := live[k]
+				live = append(live[:k], live[k+1:]...)
+				p.AddBusy(a.start, a.end, -a.nodes)
+				ref.addBusy(a.start, a.end, -a.nodes)
+			} else {
+				start := float64(rng.IntN(opWindow))
+				end := start + float64(1+rng.IntN(maxDur))
+				nodes := 1 + rng.IntN(4)
+				if p.MinAvail(start, end) < nodes {
+					continue // keep availability within [0, capacity]
+				}
+				p.AddBusy(start, end, nodes)
+				ref.addBusy(start, end, nodes)
+				live = append(live, alloc{start, end, nodes})
+			}
+			if err := p.Validate(capacity); err != nil {
+				t.Fatalf("trial %d op %d: %v\n%v", trial, op, err, p)
+			}
+			for i := 0; i < horizon; i += 7 {
+				at := float64(i)
+				if got, want := p.AvailAt(at), ref.availAt(at); got != want {
+					t.Fatalf("trial %d op %d: AvailAt(%v) = %d, want %d\n%v", trial, op, at, got, want, p)
+				}
+			}
+			// Anchor probes, bounded and unbounded.
+			earliest := float64(rng.IntN(opWindow))
+			duration := float64(1 + rng.IntN(maxDur))
+			nodes := 1 + rng.IntN(capacity)
+			if got, want := p.FindAnchor(earliest, duration, nodes), ref.findAnchor(earliest, math.Inf(1), duration, nodes); got != want {
+				t.Fatalf("trial %d op %d: FindAnchor(%v, %v, %d) = %v, want %v\n%v",
+					trial, op, earliest, duration, nodes, got, want, p)
+			}
+			limit := earliest + float64(rng.IntN(2*maxDur))
+			if got, want := p.FindAnchorLimit(earliest, limit, duration, nodes), ref.findAnchor(earliest, limit, duration, nodes); got != want {
+				t.Fatalf("trial %d op %d: FindAnchorLimit(%v, %v, %v, %d) = %v, want %v\n%v",
+					trial, op, earliest, limit, duration, nodes, got, want, p)
+			}
+		}
+		// Trim to a random point and re-verify the surviving domain.
+		cut := float64(rng.IntN(opWindow))
+		p.TrimBefore(cut)
+		if err := p.Validate(capacity); err != nil {
+			t.Fatalf("trial %d after TrimBefore(%v): %v", trial, cut, err)
+		}
+		if p.Start() != cut && cut > 0 {
+			t.Fatalf("trial %d: Start = %v after TrimBefore(%v)", trial, p.Start(), cut)
+		}
+		for i := int(cut); i < horizon; i += 3 {
+			at := float64(i)
+			if got, want := p.AvailAt(at), ref.availAt(at); got != want {
+				t.Fatalf("trial %d: AvailAt(%v) = %d after trim, want %d", trial, at, got, want)
+			}
+		}
+	}
+}
+
+// FindAnchorLimit must agree with FindAnchor whenever the unbounded
+// anchor falls inside the limit, and report +Inf whenever it does not.
+func TestFindAnchorLimitConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 1))
+	for trial := 0; trial < 50; trial++ {
+		p := NewProfile(0, 8)
+		for i := 0; i < 30; i++ {
+			start := float64(rng.IntN(300))
+			p.AddBusy(start, start+float64(1+rng.IntN(50)), 1+rng.IntN(3))
+		}
+		for probe := 0; probe < 50; probe++ {
+			earliest := float64(rng.IntN(300))
+			duration := float64(1 + rng.IntN(60))
+			nodes := 1 + rng.IntN(8)
+			limit := earliest + float64(rng.IntN(120))
+			full := p.FindAnchor(earliest, duration, nodes)
+			bounded := p.FindAnchorLimit(earliest, limit, duration, nodes)
+			if full < limit {
+				if bounded != full {
+					t.Fatalf("bounded = %v, full = %v (limit %v)", bounded, full, limit)
+				}
+			} else if !math.IsInf(bounded, 1) {
+				t.Fatalf("bounded = %v, want +Inf (full %v, limit %v)", bounded, full, limit)
+			}
+		}
+	}
+}
