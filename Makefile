@@ -4,7 +4,11 @@ GO ?= go
 # (override: make bench BENCH_LABEL=pr3-after).
 BENCH_LABEL ?= dev
 
-.PHONY: build test check bench bench-all fmt
+.PHONY: build test check bench bench-all fmt results
+
+# Experiments recorded in results_full.txt: the registry minus sec4,
+# whose wall-clock measurements are not deterministic.
+RESULTS_EXPERIMENTS = fig12,table1,table2,fig3,table3,fig4,table4,qgrowth,inflate,loadsweep,ablations,multiq,moldable
 
 build:
 	$(GO) build ./...
@@ -34,3 +38,16 @@ bench-all:
 
 fmt:
 	gofmt -l -w .
+
+# results regenerates results_full.txt through the registry dispatcher
+# (deterministic: fixed seeds, timing on stderr) and diffs it against
+# the committed file. An unchanged file is left alone; a drifted one is
+# replaced so the diff can be reviewed and committed.
+results:
+	$(GO) run ./cmd/redsim -run $(RESULTS_EXPERIMENTS) -q > results_full.txt.tmp
+	@if diff -u results_full.txt results_full.txt.tmp; then \
+		echo "results_full.txt: up to date"; rm results_full.txt.tmp; \
+	else \
+		mv results_full.txt.tmp results_full.txt; \
+		echo "results_full.txt updated — review the diff above and commit"; \
+	fi

@@ -1,9 +1,10 @@
-// Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation (see DESIGN.md for the experiment index). Each benchmark
-// runs a reduced-scale configuration (fewer replications, shorter
-// submission window) that preserves the experiment's structure and
-// prints the same rows/series the paper reports; cmd/redsim,
-// cmd/pbsbench, and cmd/grambench run the full-scale versions.
+// Benchmark harness: BenchmarkExperiment drives every registered
+// simulation experiment through the Spec registry at reduced scale
+// (fewer replications, shorter submission window, shrunk sweep axes),
+// printing the same tables the paper reports; cmd/redsim, cmd/pbsbench,
+// and cmd/grambench run the full-scale versions. The remaining
+// benchmarks target individual layers (simulator core, daemon,
+// middleware, trace parsing).
 //
 // Run with:
 //
@@ -42,184 +43,39 @@ func benchOpts() experiment.Options {
 	return o
 }
 
-func BenchmarkFigure1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiment.SchemesVsN(benchOpts(), []int{2, 5, 10})
-		if err != nil {
-			b.Fatal(err)
+// benchSweeps shrinks the sweep experiments' x-axes so one benchmark
+// iteration stays tractable; experiments without a sweep axis run
+// their full (fixed) variant sets.
+var benchSweeps = map[string][]float64{
+	"fig12":     {2, 5, 10},
+	"fig3":      {3.43, 5.01, 7.84},
+	"fig4":      {0, 0.4, 1.0},
+	"loadsweep": {0.45, 0.90},
+}
+
+// BenchmarkExperiment runs every registered simulation experiment at
+// reduced scale through the Spec registry — the same code path as
+// `redsim -run <name>`. sec4 is excluded: it measures wall-clock rates
+// itself, so a benchmark harness around it is meaningless (see
+// BenchmarkFigure5 and the middleware benchmarks for its layers).
+func BenchmarkExperiment(b *testing.B) {
+	for _, spec := range experiment.All() {
+		if spec.Name == "sec4" {
+			continue
 		}
-		if i == b.N-1 {
-			s := report.NewSeries("Figure 1: relative average stretch vs N", "N", "R2", "R3", "R4", "HALF", "ALL")
-			for _, pt := range points {
-				var ys []float64
-				for _, sr := range pt.Schemes {
-					ys = append(ys, sr.Rel.AvgStretch)
+		b.Run(spec.Name, func(b *testing.B) {
+			opts := benchOpts()
+			opts.Sweep = benchSweeps[spec.Name]
+			for i := 0; i < b.N; i++ {
+				rep, err := spec.Report(opts)
+				if err != nil {
+					b.Fatal(err)
 				}
-				s.AddPoint(fmt.Sprintf("%d", pt.N), ys...)
-			}
-			s.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkFigure2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiment.SchemesVsN(benchOpts(), []int{2, 10})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			s := report.NewSeries("Figure 2: relative CV of stretches vs N", "N", "R2", "R3", "R4", "HALF", "ALL")
-			for _, pt := range points {
-				var ys []float64
-				for _, sr := range pt.Schemes {
-					ys = append(ys, sr.Rel.CVStretch)
+				if i == b.N-1 {
+					rep.Render(os.Stdout)
 				}
-				s.AddPoint(fmt.Sprintf("%d", pt.N), ys...)
 			}
-			s.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkTable1(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiment.Table1(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			t := report.NewTable("Table 1: HALF vs none (N=10)",
-				"alg", "avg(exact)", "avg(real)", "cv(exact)", "cv(real)")
-			for _, r := range rows {
-				t.AddRow(r.Alg.String(),
-					report.Cell(r.AvgStretchExact, 2), report.Cell(r.AvgStretchReal, 2),
-					report.Cell(r.CVStretchesExact, 2), report.Cell(r.CVStretchesReal, 2))
-			}
-			t.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkTable2(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiment.Table2(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			t := report.NewTable("Table 2: biased selection (N=10)", "scheme", "rel avg", "rel CV")
-			for _, r := range rows {
-				t.AddRow(r.Scheme.String(), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
-			}
-			t.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkFigure3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiment.Figure3(benchOpts(), []float64{3.43, 5.01, 7.84})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			s := report.NewSeries("Figure 3: relative avg stretch vs iat", "iat", "R2", "R3", "R4", "HALF", "ALL")
-			for _, pt := range points {
-				var ys []float64
-				for _, sr := range pt.Schemes {
-					ys = append(ys, sr.Rel.AvgStretch)
-				}
-				s.AddPoint(fmt.Sprintf("%.2f", pt.MeanIAT), ys...)
-			}
-			s.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkTable3(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiment.Table3(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			t := report.NewTable("Table 3: heterogeneous platforms (N=10)", "scheme", "rel avg", "rel CV")
-			for _, r := range rows {
-				t.AddRow(r.Scheme.String(), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
-			}
-			t.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkFigure4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiment.Figure4(benchOpts(), []float64{0, 0.4, 1.0})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			t := report.NewTable("Figure 4: stretch by class vs p (N=10)", "scheme", "p%", "r", "n-r")
-			for _, pt := range points {
-				r, nr := "-", "-"
-				if pt.Fraction > 0 {
-					r = report.Cell(pt.RStretch, 2)
-				}
-				if pt.Fraction < 1 {
-					nr = report.Cell(pt.NRStretch, 2)
-				}
-				t.AddRow(pt.Scheme.String(), fmt.Sprintf("%.0f", pt.Fraction*100), r, nr)
-			}
-			t.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkTable4(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiment.Table4(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			t := report.NewTable("Table 4: wait over-prediction (N=10, CBF)", "population", "avg", "CV%")
-			t.AddRow("0% redundant", report.Cell(res.BaselineAvg, 2), report.Cell(res.BaselineCV, 0))
-			t.AddRow("40% ALL: n-r", report.Cell(res.NonRedundantAvg, 2), report.Cell(res.NonRedundantCV, 0))
-			t.AddRow("40% ALL: r", report.Cell(res.RedundantAvg, 2), report.Cell(res.RedundantCV, 0))
-			t.Render(os.Stdout)
-		}
-	}
-}
-
-func BenchmarkQueueGrowth(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		opts := benchOpts()
-		opts.Horizon = 4 * 3600 // reduced from the paper's 24h window
-		res, err := experiment.QueueGrowth(opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			fmt.Printf("queue growth: NONE %.1f, ALL %.1f (ratio %.3f)\n",
-				res.MaxQueueNone, res.MaxQueueAll, res.Ratio)
-		}
-	}
-}
-
-func BenchmarkInflationAblation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiment.InflationAblation(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			t := report.NewTable("inflation ablation (HALF)", "inflate", "rel avg", "rel CV")
-			for _, r := range rows {
-				t.AddRow(fmt.Sprintf("%.0f%%", r.Inflate*100), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
-			}
-			t.Render(os.Stdout)
-		}
+		})
 	}
 }
 
@@ -353,75 +209,6 @@ func BenchmarkEngine(b *testing.B) {
 				}
 			}
 		})
-	}
-}
-
-// BenchmarkMultiQueue runs the option (iii) extension: redundant
-// requests across two queues of one resource.
-func BenchmarkMultiQueue(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		opts := benchOpts()
-		res, err := experiment.MultiQueue(opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			fmt.Printf("multi-queue: best-queue %.2f, redundant %.2f (ratio %.2f); short-queue wins %.0f%% -> %.0f%%\n",
-				res.SingleAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch,
-				res.ShortWinsSingle*100, res.ShortWinsRedundant*100)
-		}
-	}
-}
-
-// BenchmarkMoldable runs the option (iv) extension: redundant shape
-// variants for moldable jobs.
-func BenchmarkMoldable(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		opts := benchOpts()
-		res, err := experiment.Moldable(opts)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			fmt.Printf("moldable: fixed %.2f, redundant shapes %.2f (ratio %.2f); %.0f%% changed shape\n",
-				res.FixedAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch,
-				res.ShapeChangedFrac*100)
-		}
-	}
-}
-
-// BenchmarkAblations toggles the scheduler design choices DESIGN.md
-// calls out and reports HALF-vs-NONE under each.
-func BenchmarkAblations(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiment.Ablations(benchOpts())
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			t := report.NewTable("ablations (HALF vs NONE, N=10)", "choice", "rel avg", "rel CV")
-			for _, r := range rows {
-				t.AddRow(r.Name, report.Cell(r.RelAvgStretch, 2), report.Cell(r.RelCVStretch, 2))
-			}
-			t.Render(os.Stdout)
-		}
-	}
-}
-
-// BenchmarkLoadSweep exposes where redundancy stops helping as offered
-// load crosses saturation.
-func BenchmarkLoadSweep(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiment.LoadSweep(benchOpts(), []float64{0.45, 0.90})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == b.N-1 {
-			for _, pt := range points {
-				fmt.Printf("load %.2f: baseline stretch %.2f, ALL/NONE %.2f\n",
-					pt.TargetLoad, pt.BaselineAvgStretch, pt.RelAvgStretch)
-			}
-		}
 	}
 }
 

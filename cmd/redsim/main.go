@@ -1,12 +1,20 @@
-// Command redsim runs the paper's Section 3 and Section 5 simulation
-// experiments and prints the corresponding table or figure data.
+// Command redsim runs the paper's experiments through the registry in
+// internal/experiment and renders the results.
 //
 // Usage:
 //
-//	redsim -exp fig1 [-reps 50] [-horizon 21600] [-load 0.45] ...
+//	redsim -run table1            # one experiment, aligned tables
+//	redsim -run fig4,table4       # several, in registry order as given
+//	redsim -run all               # everything
+//	redsim -list                  # enumerate the registry
+//	redsim -run table1 -format json
+//	redsim -run all -format csv -out results/
 //
-// Experiments: fig1, fig2, table1, table2, fig3, table3, fig4, table4,
-// qgrowth, inflate, loadsweep, all.
+// Output goes to stdout in the chosen -format (aligned tables, CSV
+// sections, or a JSON array of report objects); with -out DIR each
+// experiment instead writes DIR/<name>.<txt|csv|json>. Progress and
+// timing go to stderr. Exit status: 0 on success, 1 on runtime
+// failure, 2 on usage errors.
 //
 // Observability: -trace FILE aggregates run internals (DES event
 // counters, per-cluster queue-depth series, redundant submit/cancel
@@ -20,7 +28,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -32,32 +42,83 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, dispatches over the
+// experiment registry, and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("redsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp     = flag.String("exp", "all", "experiment to run: fig1|fig2|table1|table2|fig3|table3|fig4|table4|sec4|qgrowth|inflate|loadsweep|moldable|multiq|ablations|all")
-		reps    = flag.Int("reps", 10, "replications per data point (the paper uses 50)")
-		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
-		horizon = flag.Float64("horizon", 6*3600, "submission window in seconds")
-		nodes   = flag.Int("nodes", 128, "homogeneous cluster size")
-		load    = flag.Float64("load", 0.45, "calibrated offered load on the reference cluster")
-		minRt   = flag.Float64("minrt", 30, "runtime floor in seconds")
-		maxRt   = flag.Float64("maxrt", 36*3600, "runtime cap in seconds")
-		seed    = flag.Uint64("seed", 20060619, "base seed")
-		quiet   = flag.Bool("q", false, "suppress progress output")
-		traceTo = flag.String("trace", "", "write an aggregate trace report to this file (.json/.csv by extension, tables otherwise; \"-\" for stdout)")
-		cpuProf = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a pprof heap profile to this file")
+		runNames = fs.String("run", "all", "comma-separated experiment names (see -list), or \"all\"")
+		expName  = fs.String("exp", "", "deprecated alias for -run")
+		list     = fs.Bool("list", false, "list the registered experiments and exit")
+		format   = fs.String("format", "table", "output format: table|csv|json")
+		outDir   = fs.String("out", "", "write one file per experiment into this directory instead of stdout")
+		reps     = fs.Int("reps", 10, "replications per data point (the paper uses 50)")
+		workers  = fs.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		horizon  = fs.Float64("horizon", 6*3600, "submission window in seconds")
+		nodes    = fs.Int("nodes", 128, "homogeneous cluster size")
+		load     = fs.Float64("load", 0.45, "calibrated offered load on the reference cluster")
+		minRt    = fs.Float64("minrt", 30, "runtime floor in seconds")
+		maxRt    = fs.Float64("maxrt", 36*3600, "runtime cap in seconds")
+		seed     = fs.Uint64("seed", 20060619, "base seed")
+		quiet    = fs.Bool("q", false, "suppress progress and timing output")
+		traceTo  = fs.String("trace", "", "write an aggregate trace report to this file (.json/.csv by extension, tables otherwise; \"-\" for stdout)")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2 // the flag set already printed the error and usage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "redsim: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
+
+	if *list {
+		t := report.NewTable("", "name", "aliases", "description", "parameters")
+		for _, s := range experiment.All() {
+			t.AddRow(s.Name, strings.Join(s.Aliases, ","), s.Desc, s.Params)
+		}
+		if err := t.Render(stdout); err != nil {
+			fmt.Fprintf(stderr, "redsim: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fmt.Fprintf(stderr, "redsim: unknown format %q (want table, csv, or json)\n", *format)
+		return 2
+	}
+
+	names := *runNames
+	if *expName != "" {
+		fmt.Fprintln(stderr, "redsim: -exp is deprecated, use -run")
+		names = *expName
+	}
+	specs, err := resolve(names)
+	if err != nil {
+		fmt.Fprintf(stderr, "redsim: %v\n", err)
+		fs.Usage()
+		return 2
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "redsim: cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "redsim: cpuprofile: %v\n", err)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "redsim: cpuprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "redsim: cpuprofile: %v\n", err)
+			f.Close()
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -79,106 +140,128 @@ func main() {
 	}
 	if !*quiet {
 		opts.Progress = func(done, total int) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d simulations", done, total)
+			fmt.Fprintf(stderr, "\r%d/%d simulations", done, total)
 			if done == total {
-				fmt.Fprintln(os.Stderr)
+				fmt.Fprintln(stderr)
 			}
 		}
 	}
 
-	run := func(name string, fn func(experiment.Options) error) {
-		t0 := time.Now()
-		fmt.Printf("== %s ==\n", name)
-		if err := fn(opts); err != nil {
-			fmt.Fprintf(os.Stderr, "redsim: %s: %v\n", name, err)
-			os.Exit(1)
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "redsim: %v\n", err)
+			return 1
 		}
-		fmt.Printf("(%s, %d reps)\n\n", time.Since(t0).Round(time.Second), opts.Reps)
 	}
 
-	which := strings.ToLower(*exp)
-	all := which == "all"
-	didSomething := false
-	if all || which == "fig1" || which == "fig2" {
-		run("Figures 1 and 2: relative average stretch and CV vs number of clusters", runFig12)
-		didSomething = true
+	var jsonReports []*report.Report
+	for _, s := range specs {
+		t0 := time.Now()
+		rep, err := s.Report(opts)
+		if err != nil {
+			fmt.Fprintf(stderr, "redsim: %s: %v\n", s.Name, err)
+			return 1
+		}
+		if !*quiet {
+			fmt.Fprintf(stderr, "(%s: %s, %d reps)\n", s.Name, time.Since(t0).Round(time.Second), opts.Reps)
+		}
+		switch {
+		case *outDir != "":
+			if err := writeReportFile(*outDir, *format, rep); err != nil {
+				fmt.Fprintf(stderr, "redsim: %s: %v\n", s.Name, err)
+				return 1
+			}
+		case *format == "table":
+			err = rep.Render(stdout)
+		case *format == "csv":
+			err = rep.WriteCSV(stdout)
+		default: // json: a single array once every experiment has run
+			jsonReports = append(jsonReports, rep)
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "redsim: %s: %v\n", s.Name, err)
+			return 1
+		}
 	}
-	if all || which == "table1" {
-		run("Table 1: scheduling algorithms x estimate quality (N=10, HALF)", runTable1)
-		didSomething = true
+	if *outDir == "" && *format == "json" {
+		if err := report.WriteJSON(stdout, jsonReports...); err != nil {
+			fmt.Fprintf(stderr, "redsim: %v\n", err)
+			return 1
+		}
 	}
-	if all || which == "table2" {
-		run("Table 2: non-uniformly distributed redundant requests (N=10)", runTable2)
-		didSomething = true
-	}
-	if all || which == "fig3" {
-		run("Figure 3: relative average stretch vs job interarrival time (N=10)", runFig3)
-		didSomething = true
-	}
-	if all || which == "table3" {
-		run("Table 3: heterogeneous platforms (N=10)", runTable3)
-		didSomething = true
-	}
-	if all || which == "fig4" {
-		run("Figure 4: stretch of r-jobs and n-r jobs vs percentage of redundant jobs (N=10)", runFig4)
-		didSomething = true
-	}
-	if all || which == "table4" {
-		run("Table 4: queue waiting time over-prediction (N=10, CBF)", runTable4)
-		didSomething = true
-	}
-	if all || which == "sec4" {
-		run("Section 4: system load (real scheduler + middleware)", runSection4)
-		didSomething = true
-	}
-	if all || which == "qgrowth" {
-		run("Section 4.1: steady-state queue growth under ALL (24h)", runQGrowth)
-		didSomething = true
-	}
-	if all || which == "inflate" {
-		run("Section 3.1.2: requested-time inflation of redundant copies", runInflate)
-		didSomething = true
-	}
-	if all || which == "loadsweep" {
-		run("Ablation: offered-load sweep (ALL vs NONE)", runLoadSweep)
-		didSomething = true
-	}
-	if all || which == "ablations" {
-		run("Ablations: scheduler design choices (HALF vs NONE, N=10)", runAblations)
-		didSomething = true
-	}
-	if all || which == "multiq" {
-		run("Extension (option iii): redundant requests across queues of one resource", runMultiQueue)
-		didSomething = true
-	}
-	if all || which == "moldable" {
-		run("Extension (option iv): redundant shape variants for moldable jobs", runMoldable)
-		didSomething = true
-	}
-	if !didSomething {
-		fmt.Fprintf(os.Stderr, "redsim: unknown experiment %q\n", *exp)
-		flag.Usage()
-		os.Exit(2)
-	}
+
 	if *traceTo != "" {
 		if err := writeTrace(*traceTo, opts.Trace); err != nil {
-			fmt.Fprintf(os.Stderr, "redsim: trace: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "redsim: trace: %v\n", err)
+			return 1
 		}
 	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "redsim: memprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "redsim: memprofile: %v\n", err)
+			return 1
 		}
 		runtime.GC()
 		if err := pprof.WriteHeapProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "redsim: memprofile: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "redsim: memprofile: %v\n", err)
+			f.Close()
+			return 1
 		}
 		f.Close()
 	}
+	return 0
+}
+
+// resolve maps the -run value to registry specs, preserving order and
+// dropping duplicates; "all" anywhere selects the full registry.
+func resolve(names string) ([]*experiment.Spec, error) {
+	var out []*experiment.Spec
+	seen := make(map[string]bool)
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if strings.EqualFold(name, "all") {
+			return experiment.All(), nil
+		}
+		s, ok := experiment.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q", name)
+		}
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected")
+	}
+	return out, nil
+}
+
+// writeReportFile writes one experiment's report into dir as
+// <name>.<txt|csv|json>.
+func writeReportFile(dir, format string, rep *report.Report) error {
+	ext := map[string]string{"table": "txt", "csv": "csv", "json": "json"}[format]
+	f, err := os.Create(filepath.Join(dir, rep.Name+"."+ext))
+	if err != nil {
+		return err
+	}
+	var werr error
+	switch format {
+	case "table":
+		werr = rep.Render(f)
+	case "csv":
+		werr = rep.WriteCSV(f)
+	default:
+		werr = rep.WriteJSON(f)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }
 
 // writeTrace emits the aggregate trace report; the format follows the
@@ -205,232 +288,4 @@ func writeTrace(dest string, tr *obs.Trace) error {
 	default:
 		return report.RenderTrace(w, snap)
 	}
-}
-
-func runFig12(opts experiment.Options) error {
-	points, err := experiment.SchemesVsN(opts, nil)
-	if err != nil {
-		return err
-	}
-	fig1 := report.NewSeries("Figure 1: average stretch relative to no redundancy", "N", "R2", "R3", "R4", "HALF", "ALL")
-	fig2 := report.NewSeries("Figure 2: coefficient of variation of stretches relative to no redundancy", "N", "R2", "R3", "R4", "HALF", "ALL")
-	maxs := report.NewSeries("(extra) maximum stretch relative to no redundancy", "N", "R2", "R3", "R4", "HALF", "ALL")
-	for _, pt := range points {
-		var avg, cv, mx []float64
-		for _, sr := range pt.Schemes {
-			avg = append(avg, sr.Rel.AvgStretch)
-			cv = append(cv, sr.Rel.CVStretch)
-			mx = append(mx, sr.Rel.MaxStretch)
-		}
-		x := fmt.Sprintf("%d", pt.N)
-		fig1.AddPoint(x, avg...)
-		fig2.AddPoint(x, cv...)
-		maxs.AddPoint(x, mx...)
-	}
-	if err := fig1.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := fig2.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	if err := maxs.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
-	t := report.NewTable("Win statistics (fraction of replications where the scheme beats no redundancy; worst loss)",
-		"N", "scheme", "win%", "worst loss%", "baseline avg stretch")
-	for _, pt := range points {
-		for _, sr := range pt.Schemes {
-			t.AddRow(fmt.Sprintf("%d", pt.N), sr.Scheme.String(),
-				report.Cell(sr.Rel.WinFraction*100, 0),
-				report.Cell(sr.Rel.WorstLoss*100, 1),
-				report.Cell(pt.BaselineAvgStretch, 2))
-		}
-	}
-	return t.Render(os.Stdout)
-}
-
-func runTable1(opts experiment.Options) error {
-	rows, err := experiment.Table1(opts)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Table 1: relative metrics for HALF vs no redundancy",
-		"algorithm", "rel avg stretch (exact)", "rel avg stretch (real)", "rel CV (exact)", "rel CV (real)")
-	for _, r := range rows {
-		t.AddRow(r.Alg.String(),
-			report.Cell(r.AvgStretchExact, 2), report.Cell(r.AvgStretchReal, 2),
-			report.Cell(r.CVStretchesExact, 2), report.Cell(r.CVStretchesReal, 2))
-	}
-	return t.Render(os.Stdout)
-}
-
-func runTable2(opts experiment.Options) error {
-	rows, err := experiment.Table2(opts)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Table 2: biased remote selection, relative to no redundancy",
-		"metric", "R2", "R3", "R4", "HALF")
-	avg := []string{"rel avg stretch"}
-	cv := []string{"rel CV of stretches"}
-	for _, r := range rows {
-		avg = append(avg, report.Cell(r.AvgStretch, 2))
-		cv = append(cv, report.Cell(r.CVStretch, 2))
-	}
-	t.AddRow(avg...)
-	t.AddRow(cv...)
-	return t.Render(os.Stdout)
-}
-
-func runFig3(opts experiment.Options) error {
-	points, err := experiment.Figure3(opts, nil)
-	if err != nil {
-		return err
-	}
-	s := report.NewSeries("Figure 3: relative average stretch vs mean interarrival time (s)", "iat", "R2", "R3", "R4", "HALF", "ALL")
-	for _, pt := range points {
-		var ys []float64
-		for _, sr := range pt.Schemes {
-			ys = append(ys, sr.Rel.AvgStretch)
-		}
-		s.AddPoint(fmt.Sprintf("%.2f", pt.MeanIAT), ys...)
-	}
-	return s.Render(os.Stdout)
-}
-
-func runTable3(opts experiment.Options) error {
-	rows, err := experiment.Table3(opts)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Table 3: heterogeneous platforms, relative to no redundancy",
-		"scheme", "rel avg stretch", "rel CV of stretches")
-	for _, r := range rows {
-		t.AddRow(r.Scheme.String(), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
-	}
-	return t.Render(os.Stdout)
-}
-
-func runFig4(opts experiment.Options) error {
-	points, err := experiment.Figure4(opts, nil)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Figure 4: average stretch by job class vs percentage of redundant jobs",
-		"scheme", "p%", "r jobs", "n-r jobs", "all")
-	for _, pt := range points {
-		rCell, nrCell := "-", "-"
-		if pt.Fraction > 0 {
-			rCell = report.Cell(pt.RStretch, 2)
-		}
-		if pt.Fraction < 1 {
-			nrCell = report.Cell(pt.NRStretch, 2)
-		}
-		t.AddRow(pt.Scheme.String(), fmt.Sprintf("%.0f", pt.Fraction*100),
-			rCell, nrCell, report.Cell(pt.AllStretch, 2))
-	}
-	return t.Render(os.Stdout)
-}
-
-func runTable4(opts experiment.Options) error {
-	res, err := experiment.Table4(opts)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Table 4: queue waiting time over-prediction (predicted/effective wait)",
-		"population", "average", "CV%", "jobs")
-	t.AddRow("0% redundant", report.Cell(res.BaselineAvg, 2), report.Cell(res.BaselineCV, 0), fmt.Sprintf("%d", res.BaselineN))
-	t.AddRow(fmt.Sprintf("%.0f%% ALL: n-r jobs", res.RedundantPercent*100),
-		report.Cell(res.NonRedundantAvg, 2), report.Cell(res.NonRedundantCV, 0), fmt.Sprintf("%d", res.NonRedundantN))
-	t.AddRow(fmt.Sprintf("%.0f%% ALL: r jobs", res.RedundantPercent*100),
-		report.Cell(res.RedundantAvg, 2), report.Cell(res.RedundantCV, 0), fmt.Sprintf("%d", res.RedundantN))
-	return t.Render(os.Stdout)
-}
-
-func runQGrowth(opts experiment.Options) error {
-	opts.Horizon = 24 * 3600 // the paper's window for this observation
-	res, err := experiment.QueueGrowth(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("average max queue length: NONE %.1f, ALL %.1f  (ratio %.3f; paper: < 1.02... per-request counting differs, see EXPERIMENTS.md)\n",
-		res.MaxQueueNone, res.MaxQueueAll, res.Ratio)
-	return nil
-}
-
-func runInflate(opts experiment.Options) error {
-	rows, err := experiment.InflationAblation(opts)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Requested-time inflation of remote copies (HALF vs no redundancy)",
-		"inflation", "rel avg stretch", "rel CV of stretches")
-	for _, r := range rows {
-		t.AddRow(fmt.Sprintf("%.0f%%", r.Inflate*100), report.Cell(r.AvgStretch, 2), report.Cell(r.CVStretch, 2))
-	}
-	return t.Render(os.Stdout)
-}
-
-func runLoadSweep(opts experiment.Options) error {
-	points, err := experiment.LoadSweep(opts, nil)
-	if err != nil {
-		return err
-	}
-	s := report.NewSeries("Offered-load sweep: ALL vs NONE", "load", "baseline stretch", "rel avg stretch")
-	for _, pt := range points {
-		s.AddPoint(fmt.Sprintf("%.2f", pt.TargetLoad), pt.BaselineAvgStretch, pt.RelAvgStretch)
-	}
-	return s.Render(os.Stdout)
-}
-
-func runAblations(opts experiment.Options) error {
-	rows, err := experiment.Ablations(opts)
-	if err != nil {
-		return err
-	}
-	t := report.NewTable("Scheduler design-choice ablations (HALF vs NONE, N=10)",
-		"design choice", "rel avg stretch", "rel CV of stretches")
-	for _, r := range rows {
-		t.AddRow(r.Name, report.Cell(r.RelAvgStretch, 2), report.Cell(r.RelCVStretch, 2))
-	}
-	return t.Render(os.Stdout)
-}
-
-func runMultiQueue(opts experiment.Options) error {
-	res, err := experiment.MultiQueue(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("avg stretch: best-queue %.2f, redundant-queues %.2f (ratio %.2f)\n",
-		res.SingleAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch)
-	fmt.Printf("jobs served by the short queue: %.0f%% -> %.0f%%\n",
-		res.ShortWinsSingle*100, res.ShortWinsRedundant*100)
-	return nil
-}
-
-func runMoldable(opts experiment.Options) error {
-	res, err := experiment.Moldable(opts)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("avg stretch (vs base-shape runtime): fixed %.2f, redundant shapes %.2f (ratio %.2f)\n",
-		res.FixedAvgStretch, res.RedundantAvgStretch, res.RelAvgStretch)
-	fmt.Printf("jobs that ran with a different shape than requested: %.0f%%\n", res.ShapeChangedFrac*100)
-	return nil
-}
-
-func runSection4(opts experiment.Options) error {
-	res, err := experiment.Section4(experiment.Section4Options{
-		Clients: 4,
-		Window:  2 * time.Second,
-		Trace:   opts.Trace,
-	})
-	if err != nil {
-		return err
-	}
-	fmt.Print(res.String())
-	return nil
 }

@@ -1,0 +1,222 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"redreq/internal/experiment"
+)
+
+// Regenerate the golden fixtures after an intentional numeric change:
+//
+//	go test ./cmd/redsim -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden fixtures in testdata/")
+
+// goldenExperiments are the fixed-seed experiments whose quick-scale
+// JSON output is pinned byte-for-byte. sec4 and the wall-clock layers
+// are excluded (nondeterministic); the sweep experiments with long
+// default axes are excluded to keep the test fast.
+var goldenExperiments = []string{"table1", "table4", "fig4", "qgrowth", "inflate"}
+
+// quickArgs is the reduced-scale configuration the fixtures were
+// generated with (matches experiment.Quick()).
+func quickArgs(name string) []string {
+	return []string{"-run", name, "-format", "json", "-reps", "3", "-horizon", "3600", "-q"}
+}
+
+func TestGoldenJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full experiments")
+	}
+	for _, name := range goldenExperiments {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var out, errb bytes.Buffer
+			if code := run(quickArgs(name), &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+			}
+			golden := filepath.Join("testdata", name+"_quick.json")
+			if *update {
+				if err := os.WriteFile(golden, out.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s",
+					golden, out.Bytes(), want)
+			}
+			// The fixture itself must be valid JSON.
+			var doc []map[string]any
+			if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+				t.Fatalf("output is not a JSON array: %v", err)
+			}
+			if len(doc) != 1 || doc[0]["name"] != name {
+				t.Errorf("array = %d reports, first name = %v", len(doc), doc[0]["name"])
+			}
+		})
+	}
+}
+
+func TestList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, s := range experiment.All() {
+		if !strings.Contains(out.String(), s.Name) {
+			t.Errorf("-list missing %q:\n%s", s.Name, out.String())
+		}
+	}
+}
+
+func TestUnknownExperimentExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `unknown experiment "nope"`) {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage error wrote to stdout:\n%s", out.String())
+	}
+}
+
+func TestBadFormatExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "table1", "-format", "xml"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown format") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+func TestPositionalArgsExitUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"table1"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+}
+
+// TestRuntimeErrorExitsOne drives a registry experiment into a runtime
+// failure (zero replications) and checks the non-zero exit and stderr
+// diagnosis — the exit-code contract the old per-experiment wrappers
+// enforced inconsistently.
+func TestRuntimeErrorExitsOne(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "table1", "-reps", "0", "-q"}, &out, &errb); code != 1 {
+		t.Errorf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errb.String(), "Reps must be >= 1") {
+		t.Errorf("stderr missing cause:\n%s", errb.String())
+	}
+}
+
+// TestMultiRunJSON checks comma-separated selection and that the JSON
+// stream is one array with the experiments in the requested order.
+func TestMultiRunJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-run", "inflate,table1", "-format", "json",
+		"-reps", "2", "-horizon", "900", "-nodes", "32", "-q"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	var doc []struct {
+		Name   string `json:"name"`
+		Tables []struct {
+			Columns []string         `json:"columns"`
+			Rows    []map[string]any `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(doc) != 2 || doc[0].Name != "inflate" || doc[1].Name != "table1" {
+		t.Fatalf("wrong reports: %+v", doc)
+	}
+	for _, rep := range doc {
+		if len(rep.Tables) == 0 || len(rep.Tables[0].Rows) == 0 {
+			t.Errorf("%s: empty tables", rep.Name)
+		}
+	}
+}
+
+// TestOutDirWritesFiles checks -out writes one file per experiment in
+// the chosen format.
+func TestOutDirWritesFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	args := []string{"-run", "inflate", "-format", "csv", "-out", dir,
+		"-reps", "2", "-horizon", "900", "-nodes", "32", "-q"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("-out still wrote to stdout:\n%s", out.String())
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "inflate.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(raw), "# experiment: inflate\n") {
+		t.Errorf("csv file content:\n%s", raw)
+	}
+}
+
+// TestCSVStdout checks the csv format on stdout parses and leads with
+// the experiment comment.
+func TestCSVStdout(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-run", "table1", "-format", "csv",
+		"-reps", "2", "-horizon", "900", "-nodes", "32", "-q"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	lines := strings.Split(out.String(), "\n")
+	if lines[0] != "# experiment: table1" {
+		t.Errorf("first line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[2], "algorithm,") {
+		t.Errorf("header line = %q", lines[2])
+	}
+}
+
+// TestDeprecatedExpFlag checks -exp still selects experiments (with a
+// deprecation note on stderr).
+func TestDeprecatedExpFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-exp", "nope"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "-exp is deprecated") {
+		t.Errorf("stderr missing deprecation note:\n%s", errb.String())
+	}
+}

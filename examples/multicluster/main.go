@@ -98,5 +98,5 @@ func main() {
 	fmt.Printf("  no one using redundancy:   avg stretch %.2f\n", bs.AvgStretch)
 	fmt.Printf("Redundant jobs win. The systematic unfairness study (how much the\n")
 	fmt.Printf("non-redundant majority pays as more users turn redundant, in the\n")
-	fmt.Printf("contended regime) is `redsim -exp fig4`.\n")
+	fmt.Printf("contended regime) is `redsim -run fig4`.\n")
 }

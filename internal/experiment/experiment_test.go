@@ -154,7 +154,7 @@ func TestRunMatrixPropagatesErrors(t *testing.T) {
 }
 
 func TestSchemesVsNStructure(t *testing.T) {
-	points, err := SchemesVsN(tinyOpts(), []int{2, 3})
+	points, err := schemesVsN(tinyOpts(), []int{2, 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestSchemesVsNStructure(t *testing.T) {
 }
 
 func TestTable1Structure(t *testing.T) {
-	rows, err := Table1(tinyOpts())
+	rows, err := table1(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestTable1Structure(t *testing.T) {
 }
 
 func TestFigure4Classes(t *testing.T) {
-	points, err := Figure4(tinyOpts(), []float64{0, 0.5, 1})
+	points, err := figure4(tinyOpts(), []float64{0, 0.5, 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +249,7 @@ func TestTable3HeterogeneousMutate(t *testing.T) {
 }
 
 func TestTable4Structure(t *testing.T) {
-	res, err := Table4(tinyOpts())
+	res, err := table4(tinyOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestTable4Structure(t *testing.T) {
 
 func TestQueueGrowthStructure(t *testing.T) {
 	opts := tinyOpts()
-	res, err := QueueGrowth(opts)
+	res, err := queueGrowth(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +294,7 @@ func TestHeadlineFindingRegression(t *testing.T) {
 	opts.Reps = 3
 	opts.Horizon = 1800
 	opts.Nodes = 64
-	points, err := SchemesVsN(opts, []int{5})
+	points, err := schemesVsN(opts, []int{5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,11 @@ type Options struct {
 	TargetLoad float64
 	MinRuntime float64
 	MaxRuntime float64
+	// Sweep overrides a sweep experiment's default x-positions
+	// (platform sizes for fig12, interarrival times for fig3,
+	// redundant fractions for fig4, offered loads for loadsweep).
+	// Experiments without a sweep axis ignore it.
+	Sweep []float64
 	// Progress, when non-nil, receives (done, total) after each
 	// completed simulation, successful or not.
 	Progress func(done, total int)

@@ -1,4 +1,4 @@
-// Driver for the Section 4 system-load analysis: measure the real
+// Spec for the Section 4 system-load analysis: measure the real
 // batch scheduler daemon and the real middleware stack, then derive
 // the paper's bounds on tolerable request redundancy.
 
@@ -12,10 +12,11 @@ import (
 	"redreq/internal/middleware"
 	"redreq/internal/obs"
 	"redreq/internal/pbsd"
+	"redreq/internal/report"
 )
 
-// Section4Options configures the load measurements.
-type Section4Options struct {
+// section4Options configures the load measurements.
+type section4Options struct {
 	// QueueSizes are the Figure 5 x-positions (default
 	// pbsd.DefaultQueueSizes).
 	QueueSizes []int
@@ -38,8 +39,8 @@ type Section4Options struct {
 	Trace *obs.Trace
 }
 
-// Section4Result aggregates the Section 4 measurements.
-type Section4Result struct {
+// section4Result aggregates the Section 4 measurements.
+type section4Result struct {
 	// Scheduler is the Figure 5 sweep.
 	Scheduler []pbsd.SaturationResult
 	// SchedulerBound is r < iat * pair-rate at BoundQueueSize.
@@ -58,10 +59,10 @@ type Section4Result struct {
 	Bottleneck string
 }
 
-// Section4 runs the full system-load analysis. It is wall-clock
+// section4 runs the full system-load analysis. It is wall-clock
 // bounded by roughly (len(QueueSizes)+3) * Window plus queue preload
 // time.
-func Section4(opts Section4Options) (*Section4Result, error) {
+func section4(opts section4Options) (*section4Result, error) {
 	if opts.Clients < 1 {
 		opts.Clients = 2
 	}
@@ -78,7 +79,7 @@ func Section4(opts Section4Options) (*Section4Result, error) {
 		opts.BoundQueueSize = 10000
 	}
 
-	out := &Section4Result{}
+	out := &section4Result{}
 
 	// (1) Figure 5: scheduler throughput vs queue size. Loop over
 	// Saturate directly (rather than pbsd.Sweep) so the trace can be
@@ -143,7 +144,7 @@ func Section4(opts Section4Options) (*Section4Result, error) {
 	return out, nil
 }
 
-func measureMiddleware(opts Section4Options, durable, security bool) (middleware.RateResult, error) {
+func measureMiddleware(opts section4Options, durable, security bool) (middleware.RateResult, error) {
 	backend, err := pbsd.New(pbsd.Config{Nodes: 16, Trace: opts.Trace})
 	if err != nil {
 		return middleware.RateResult{}, err
@@ -185,7 +186,7 @@ func measureMiddleware(opts Section4Options, durable, security bool) (middleware
 
 // String renders the result in the shape of the paper's Section 4
 // discussion.
-func (r *Section4Result) String() string {
+func (r *section4Result) String() string {
 	s := "Section 4: system load\n"
 	for _, p := range r.Scheduler {
 		s += fmt.Sprintf("  scheduler @ queue %6d: %8.1f pairs/s\n", p.QueueSize, p.PairRate)
@@ -199,4 +200,38 @@ func (r *Section4Result) String() string {
 	s += fmt.Sprintf("  middleware bound: r < %d\n", r.MiddlewareBound)
 	s += fmt.Sprintf("  bottleneck: %s\n", r.Bottleneck)
 	return s
+}
+
+// middlewareLabels name the fidelity modes section4 measures, in
+// measurement order.
+var middlewareLabels = []string{"in-memory", "durable", "durable+security"}
+
+var sec4Spec = &Spec{
+	Name:   "sec4",
+	Title:  "Section 4: system load (real scheduler + middleware)",
+	Desc:   "wall-clock daemon/middleware rates and redundancy bounds (nondeterministic)",
+	Params: "clients=4, window=2s per point",
+	Tables: func(opts Options) ([]*report.Table, error) {
+		r, err := section4(section4Options{
+			Clients: 4,
+			Window:  2 * time.Second,
+			Trace:   opts.Trace,
+		})
+		if err != nil {
+			return nil, err
+		}
+		sweep := report.NewTable("Figure 5: scheduler throughput vs queue size", "queue size", "pairs/s")
+		for _, p := range r.Scheduler {
+			sweep.AddRow(p.QueueSize, report.F(p.PairRate, 1))
+		}
+		bounds := report.NewTable("Section 4 bounds on tolerable redundancy", "metric", "value")
+		bounds.AddRow("scheduler bound (r <)", r.SchedulerBound)
+		bounds.AddRow("raw marshalling (round-trips/s, 30k records)", report.F(r.MarshalPerSec, 1))
+		for i, m := range r.Middleware {
+			bounds.AddRow("middleware pairs/s, "+middlewareLabels[i], report.F(m.PairRate, 1))
+		}
+		bounds.AddRow("middleware bound (r <)", r.MiddlewareBound)
+		bounds.AddRow("bottleneck", r.Bottleneck)
+		return []*report.Table{sweep, bounds}, nil
+	},
 }

@@ -10,7 +10,7 @@ func TestSection4Smoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing-sensitive")
 	}
-	res, err := Section4(Section4Options{
+	res, err := section4(section4Options{
 		QueueSizes:     []int{0, 2000},
 		BoundQueueSize: 2000,
 		Clients:        2,

@@ -1,22 +1,25 @@
-// Driver for the Section 5 predictability experiment (Table 4):
+// Spec for the Section 5 predictability experiment (Table 4):
 // queue-waiting-time over-prediction with and without redundant
 // requests, using CBF reservations as the prediction source.
 
 package experiment
 
 import (
+	"fmt"
+
 	"redreq/internal/core"
 	"redreq/internal/metrics"
+	"redreq/internal/report"
 	"redreq/internal/sched"
 	"redreq/internal/workload"
 )
 
-// Table4Result mirrors the structure of the paper's Table 4 for N=10
+// table4Result mirrors the structure of the paper's Table 4 for N=10
 // clusters: over-prediction statistics (mean and CV of the ratio of
 // predicted to effective queue waiting time) when no jobs use
 // redundancy, and — when 40% of jobs use the ALL scheme — separately
 // for jobs not using and using redundant requests.
-type Table4Result struct {
+type table4Result struct {
 	// Baseline: 0% of jobs using redundant requests.
 	BaselineAvg float64
 	BaselineCV  float64
@@ -37,15 +40,18 @@ type Table4Result struct {
 // ill-defined for jobs that start (nearly) immediately.
 const MinEffectiveWait = 1.0
 
-// Table4 runs the predictability experiment: 10 CBF clusters, real
-// (phi-model) runtime estimates, predictions recorded at submission
-// (the CBF reservation; for redundant jobs the minimum over all
-// copies' reservations, as in Section 5).
-func Table4(opts Options) (Table4Result, error) {
+// table4RedundantFraction is the mixed population's redundant share
+// (0.4 in the paper).
+const table4RedundantFraction = 0.4
+
+// table4Variants builds the predictability pair: 10 CBF clusters,
+// real (phi-model) runtime estimates, predictions recorded at
+// submission (the CBF reservation; for redundant jobs the minimum
+// over all copies' reservations, as in Section 5). Like Figure 4, the
+// experiment runs in the contended regime: queue-wait prediction is
+// only meaningful when jobs actually wait.
+func table4Variants(opts Options) []variant {
 	const n = 10
-	// Like Figure 4, the predictability experiment runs in the
-	// contended regime: queue-wait prediction is only meaningful
-	// when jobs actually wait.
 	opts.TargetLoad = ContendedLoad
 	baseCfg := opts.base(n)
 	baseCfg.Alg = sched.CBF
@@ -54,17 +60,17 @@ func Table4(opts Options) (Table4Result, error) {
 
 	mixedCfg := baseCfg
 	mixedCfg.Scheme = core.SchemeAll
-	mixedCfg.RedundantFraction = 0.4
+	mixedCfg.RedundantFraction = table4RedundantFraction
 
-	res, err := runMatrix(opts, []variant{
+	return []variant{
 		{Name: "NONE", Config: baseCfg},
 		{Name: "MIXED", Config: mixedCfg},
-	})
-	if err != nil {
-		return Table4Result{}, err
 	}
+}
 
-	out := Table4Result{RedundantPercent: mixedCfg.RedundantFraction}
+// table4Reduce reduces the matrix built by table4Variants.
+func table4Reduce(res [][]*core.Result) table4Result {
+	out := table4Result{RedundantPercent: table4RedundantFraction}
 	accum := func(results []*core.Result, f metrics.Filter) (avg, cv float64, n int) {
 		var sa, sc float64
 		for _, r := range results {
@@ -79,5 +85,33 @@ func Table4(opts Options) (Table4Result, error) {
 	out.BaselineAvg, out.BaselineCV, out.BaselineN = accum(res[0], nil)
 	out.NonRedundantAvg, out.NonRedundantCV, out.NonRedundantN = accum(res[1], metrics.NonRedundantOnly)
 	out.RedundantAvg, out.RedundantCV, out.RedundantN = accum(res[1], metrics.RedundantOnly)
-	return out, nil
+	return out
+}
+
+// table4 runs the predictability experiment.
+func table4(opts Options) (table4Result, error) {
+	res, err := runMatrix(opts, table4Variants(opts))
+	if err != nil {
+		return table4Result{}, err
+	}
+	return table4Reduce(res), nil
+}
+
+var table4Spec = &Spec{
+	Name:     "table4",
+	Title:    "Table 4: queue waiting time over-prediction (N=10, CBF)",
+	Desc:     "how redundancy degrades CBF wait-time predictions",
+	Params:   "N=10, scheme=ALL at 40%, load=1.15",
+	Variants: func(opts Options) []variant { return table4Variants(opts) },
+	Reduce: func(opts Options, res [][]*core.Result) ([]*report.Table, error) {
+		r := table4Reduce(res)
+		t := report.NewTable("Table 4: queue waiting time over-prediction (predicted/effective wait)",
+			"population", "average", "CV%", "jobs")
+		t.AddRow("0% redundant", report.F(r.BaselineAvg, 2), report.F(r.BaselineCV, 0), r.BaselineN)
+		t.AddRow(fmt.Sprintf("%.0f%% ALL: n-r jobs", r.RedundantPercent*100),
+			report.F(r.NonRedundantAvg, 2), report.F(r.NonRedundantCV, 0), r.NonRedundantN)
+		t.AddRow(fmt.Sprintf("%.0f%% ALL: r jobs", r.RedundantPercent*100),
+			report.F(r.RedundantAvg, 2), report.F(r.RedundantCV, 0), r.RedundantN)
+		return []*report.Table{t}, nil
+	},
 }

@@ -1,5 +1,6 @@
-// CSV export: every table and series can also be written as CSV for
-// external plotting tools.
+// CSV export: every table can also be written as CSV for external
+// plotting tools. Numeric cells keep their fixed-precision text form;
+// NaN and the infinities become "NaN", "+Inf", "-Inf".
 
 package report
 
@@ -7,7 +8,6 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
-	"strconv"
 )
 
 // WriteCSV writes the table's header and rows as CSV. The title is
@@ -26,7 +26,11 @@ func (t *Table) WriteCSV(w io.Writer) error {
 		if len(row) != len(t.header) {
 			return fmt.Errorf("report: csv row has %d cells, header has %d", len(row), len(t.header))
 		}
-		if err := cw.Write(row); err != nil {
+		texts := make([]string, len(row))
+		for i, c := range row {
+			texts[i] = c.text()
+		}
+		if err := cw.Write(texts); err != nil {
 			return fmt.Errorf("report: csv row: %w", err)
 		}
 	}
@@ -34,27 +38,16 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// WriteCSV writes the series as CSV with the x column first.
-func (s *Series) WriteCSV(w io.Writer) error {
-	cw := csv.NewWriter(w)
-	if s.Title != "" {
-		if _, err := fmt.Fprintf(w, "# %s\n", s.Title); err != nil {
+// WriteCSV writes the report's tables as concatenated CSV sections,
+// introduced by a comment line naming the experiment.
+func (r *Report) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# experiment: %s\n", r.Name); err != nil {
+		return err
+	}
+	for _, t := range r.Tables {
+		if err := t.WriteCSV(w); err != nil {
 			return err
 		}
 	}
-	if err := cw.Write(append([]string{s.XLabel}, s.Curves...)); err != nil {
-		return fmt.Errorf("report: csv header: %w", err)
-	}
-	for i, x := range s.xs {
-		row := make([]string, 0, len(s.Curves)+1)
-		row = append(row, x)
-		for _, y := range s.ys[i] {
-			row = append(row, strconv.FormatFloat(y, 'g', -1, 64))
-		}
-		if err := cw.Write(row); err != nil {
-			return fmt.Errorf("report: csv row: %w", err)
-		}
-	}
-	cw.Flush()
-	return cw.Error()
+	return nil
 }

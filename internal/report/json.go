@@ -1,0 +1,136 @@
+// JSON export: tables encode as objects whose rows keep keys in
+// column order (encoding/json would sort map keys, losing the
+// column structure). Numeric cells become JSON numbers at their text
+// precision; NaN and the infinities, unrepresentable in JSON, become
+// the strings "NaN", "+Inf", "-Inf".
+
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"strconv"
+)
+
+// jstr marshals s as a JSON string (handles escaping).
+func jstr(s string) string {
+	b, _ := json.Marshal(s) // strings cannot fail to marshal
+	return string(b)
+}
+
+// jsonValue renders the cell as a JSON value.
+func (c cell) jsonValue() string {
+	switch c.kind {
+	case cellFloat:
+		if math.IsNaN(c.f) || math.IsInf(c.f, 0) {
+			return jstr(c.text())
+		}
+		return c.text() // %.*f of a finite float is a valid JSON number
+	case cellInt:
+		return strconv.FormatInt(c.i, 10)
+	default:
+		return jstr(c.s)
+	}
+}
+
+// encodeJSON writes the table object at the given indentation prefix.
+// Each row is one object on its own line, keys in column order.
+func (t *Table) encodeJSON(b *bytes.Buffer, indent string) {
+	in := indent + "  "
+	b.WriteString("{\n")
+	b.WriteString(in + `"title": ` + jstr(t.Title) + ",\n")
+	b.WriteString(in + `"columns": [`)
+	for i, h := range t.header {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(jstr(h))
+	}
+	b.WriteString("],\n")
+	b.WriteString(in + `"rows": [`)
+	for r, row := range t.rows {
+		if r > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n" + in + "  {")
+		for i, c := range row {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			key := ""
+			if i < len(t.header) {
+				key = t.header[i]
+			}
+			b.WriteString(jstr(key) + ": " + c.jsonValue())
+		}
+		b.WriteByte('}')
+	}
+	if len(t.rows) > 0 {
+		b.WriteString("\n" + in)
+	}
+	b.WriteString("]\n")
+	b.WriteString(indent + "}")
+}
+
+// WriteJSON writes the table as one JSON object:
+//
+//	{"title": ..., "columns": [...], "rows": [{col: value, ...}, ...]}
+func (t *Table) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	t.encodeJSON(&b, "")
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// encodeJSON writes the report object at the given indentation prefix.
+func (r *Report) encodeJSON(b *bytes.Buffer, indent string) {
+	in := indent + "  "
+	b.WriteString("{\n")
+	b.WriteString(in + `"name": ` + jstr(r.Name) + ",\n")
+	b.WriteString(in + `"title": ` + jstr(r.Title) + ",\n")
+	b.WriteString(in + `"tables": [`)
+	for i, t := range r.Tables {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n" + in + "  ")
+		t.encodeJSON(b, in+"  ")
+	}
+	if len(r.Tables) > 0 {
+		b.WriteString("\n" + in)
+	}
+	b.WriteString("]\n")
+	b.WriteString(indent + "}")
+}
+
+// WriteJSON writes the report as one JSON object with a "name",
+// "title", and "tables" key.
+func (r *Report) WriteJSON(w io.Writer) error {
+	var b bytes.Buffer
+	r.encodeJSON(&b, "")
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// WriteJSON writes the reports as a JSON array of report objects.
+func WriteJSON(w io.Writer, reports ...*Report) error {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, r := range reports {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString("\n  ")
+		r.encodeJSON(&b, "  ")
+	}
+	if len(reports) > 0 {
+		b.WriteByte('\n')
+	}
+	b.WriteString("]\n")
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -1,19 +1,24 @@
 // Package report renders experiment results as aligned ASCII tables
-// and series, matching the rows and series the paper reports.
+// with CSV and JSON encodings. Table is the single rendering currency
+// of the experiment pipeline: every experiment reduces its simulation
+// results to one or more Tables, and every output format (aligned
+// text, CSV, JSON) is an encoding of the same typed cells.
 package report
 
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 )
 
-// Table accumulates rows of cells and renders them with aligned
-// columns.
+// Table accumulates typed rows and renders them with aligned columns
+// (Render), as CSV (WriteCSV), or as JSON with one object per row
+// (WriteJSON).
 type Table struct {
 	Title  string
 	header []string
-	rows   [][]string
+	rows   [][]cell
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -21,23 +26,96 @@ func NewTable(title string, header ...string) *Table {
 	return &Table{Title: title, header: header}
 }
 
-// AddRow appends a row; values are formatted with %v, floats with
-// Cell for fixed precision.
-func (t *Table) AddRow(cells ...string) { t.rows = append(t.rows, cells) }
+// Columns returns the column headers.
+func (t *Table) Columns() []string { return append([]string(nil), t.header...) }
 
-// Cell formats a float at the given precision.
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// cellKind discriminates the typed cell representations.
+type cellKind uint8
+
+const (
+	cellText cellKind = iota
+	cellFloat
+	cellInt
+)
+
+// cell is one typed table cell: plain text, a fixed-precision float,
+// or an integer. Numeric kinds render as text at their precision but
+// stay numbers in the JSON encoding.
+type cell struct {
+	kind cellKind
+	s    string
+	f    float64
+	prec int
+	i    int64
+}
+
+// Num is a typed numeric cell: rendered with Prec fractional digits in
+// the text and CSV encodings, and as a JSON number.
+type Num struct {
+	V    float64
+	Prec int
+}
+
+// F builds a fixed-precision numeric cell.
+func F(v float64, prec int) Num { return Num{V: v, Prec: prec} }
+
+// Cell formats a float at the given precision as plain text. Prefer F
+// in new code: F cells remain numbers in the JSON encoding, while
+// Cell's result is indistinguishable from a label.
 func Cell(v float64, prec int) string { return fmt.Sprintf("%.*f", prec, v) }
 
-// Render writes the table to w.
+// AddRow appends a row. Cells may be string, Num (via F), int, or
+// int64; any other type panics — a programming error in the caller,
+// like a fmt verb mismatch.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]cell, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = cell{kind: cellText, s: v}
+		case Num:
+			row[i] = cell{kind: cellFloat, f: v.V, prec: v.Prec}
+		case int:
+			row[i] = cell{kind: cellInt, i: int64(v)}
+		case int64:
+			row[i] = cell{kind: cellInt, i: v}
+		default:
+			panic(fmt.Sprintf("report: unsupported cell type %T", c))
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// text renders the cell for the aligned-text and CSV encodings.
+// %.*f maps NaN and the infinities to "NaN", "+Inf", "-Inf".
+func (c cell) text() string {
+	switch c.kind {
+	case cellFloat:
+		return fmt.Sprintf("%.*f", c.prec, c.f)
+	case cellInt:
+		return strconv.FormatInt(c.i, 10)
+	default:
+		return c.s
+	}
+}
+
+// Render writes the table to w as aligned text.
 func (t *Table) Render(w io.Writer) error {
 	widths := make([]int, len(t.header))
 	for i, h := range t.header {
 		widths[i] = len(h)
 	}
-	for _, row := range t.rows {
+	texts := make([][]string, len(t.rows))
+	for r, row := range t.rows {
+		texts[r] = make([]string, len(row))
 		for i, c := range row {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			s := c.text()
+			texts[r][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
 			}
 		}
 	}
@@ -62,7 +140,7 @@ func (t *Table) Render(w io.Writer) error {
 	}
 	b.WriteString(strings.Repeat("-", total))
 	b.WriteByte('\n')
-	for _, row := range t.rows {
+	for _, row := range texts {
 		writeRow(row)
 	}
 	_, err := io.WriteString(w, b.String())
@@ -76,39 +154,27 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Series renders an x/y series (one line per point) for a figure, with
-// one column per named curve.
-type Series struct {
+// Report is one experiment's named output: a registry name, the
+// human-readable heading, and the tables the experiment reduced to.
+type Report struct {
+	Name   string
 	Title  string
-	XLabel string
-	Curves []string
-	xs     []string
-	ys     [][]float64
+	Tables []*Table
 }
 
-// NewSeries creates a series plot with the given curve names.
-func NewSeries(title, xlabel string, curves ...string) *Series {
-	return &Series{Title: title, XLabel: xlabel, Curves: curves}
-}
-
-// AddPoint appends one x position with one y value per curve.
-func (s *Series) AddPoint(x string, ys ...float64) {
-	if len(ys) != len(s.Curves) {
-		panic("report: point arity mismatch")
+// Render writes the report as text: a "== title ==" heading followed
+// by each table with a trailing blank line.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s ==\n", r.Title); err != nil {
+		return err
 	}
-	s.xs = append(s.xs, x)
-	s.ys = append(s.ys, ys)
-}
-
-// Render writes the series as a table.
-func (s *Series) Render(w io.Writer) error {
-	t := NewTable(s.Title, append([]string{s.XLabel}, s.Curves...)...)
-	for i, x := range s.xs {
-		cells := []string{x}
-		for _, y := range s.ys[i] {
-			cells = append(cells, Cell(y, 3))
+	for _, t := range r.Tables {
+		if err := t.Render(w); err != nil {
+			return err
 		}
-		t.AddRow(cells...)
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
 	}
-	return t.Render(w)
+	return nil
 }

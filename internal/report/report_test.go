@@ -1,6 +1,7 @@
 package report
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -33,6 +34,26 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// TestTypedCellsRenderLikeStrings pins the refactor's compatibility
+// contract: F(v, prec) and int cells render exactly the strings the
+// old Cell/Sprintf-based call sites produced.
+func TestTypedCellsRenderLikeStrings(t *testing.T) {
+	typed := NewTable("T", "x", "f", "n")
+	typed.AddRow(7, F(1.2345, 3), int64(42))
+	plain := NewTable("T", "x", "f", "n")
+	plain.AddRow("7", Cell(1.2345, 3), "42")
+	var bt, bp strings.Builder
+	if err := typed.Render(&bt); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Render(&bp); err != nil {
+		t.Fatal(err)
+	}
+	if bt.String() != bp.String() {
+		t.Errorf("typed cells render differently:\n%q\nvs\n%q", bt.String(), bp.String())
+	}
+}
+
 func TestTableNoTitle(t *testing.T) {
 	tb := NewTable("", "a")
 	tb.AddRow("x")
@@ -54,31 +75,14 @@ func TestCell(t *testing.T) {
 	}
 }
 
-func TestSeriesRender(t *testing.T) {
-	s := NewSeries("Fig", "x", "a", "b")
-	s.AddPoint("1", 0.5, 1.5)
-	s.AddPoint("2", 0.25, 2.5)
-	var b strings.Builder
-	if err := s.Render(&b); err != nil {
-		t.Fatal(err)
-	}
-	out := b.String()
-	if !strings.Contains(out, "0.500") || !strings.Contains(out, "2.500") {
-		t.Errorf("series output missing values:\n%s", out)
-	}
-	if !strings.Contains(out, "Fig") {
-		t.Errorf("series output missing title:\n%s", out)
-	}
-}
-
-func TestSeriesArityPanics(t *testing.T) {
-	s := NewSeries("Fig", "x", "a", "b")
+func TestAddRowRejectsUnsupportedType(t *testing.T) {
+	tb := NewTable("", "a")
 	defer func() {
 		if recover() == nil {
-			t.Error("arity mismatch did not panic")
+			t.Error("unsupported cell type did not panic")
 		}
 	}()
-	s.AddPoint("1", 0.5)
+	tb.AddRow(3.14) // bare floats must come through F (explicit precision)
 }
 
 func TestTableCSV(t *testing.T) {
@@ -111,15 +115,143 @@ func TestTableCSVRowArity(t *testing.T) {
 	}
 }
 
-func TestSeriesCSV(t *testing.T) {
-	s := NewSeries("Fig", "x", "a", "b")
-	s.AddPoint("1", 0.5, 1.25)
+func TestCSVNonFiniteValues(t *testing.T) {
+	tb := NewTable("", "metric", "value")
+	tb.AddRow("nan", F(math.NaN(), 2))
+	tb.AddRow("pinf", F(math.Inf(1), 2))
+	tb.AddRow("ninf", F(math.Inf(-1), 2))
 	var b strings.Builder
-	if err := s.WriteCSV(&b); err != nil {
+	if err := tb.WriteCSV(&b); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, "x,a,b") || !strings.Contains(out, "1,0.5,1.25") {
-		t.Errorf("series csv:\n%s", out)
+	for _, want := range []string{"nan,NaN", "pinf,+Inf", "ninf,-Inf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableJSON(t *testing.T) {
+	tb := NewTable("Demo", "zeta", "alpha", "n")
+	tb.AddRow("x", F(1.5, 2), 3)
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Keys stay in column order — "zeta" before "alpha" — which
+	// encoding/json's sorted map keys would destroy.
+	row := `{"zeta": "x", "alpha": 1.50, "n": 3}`
+	if !strings.Contains(out, row) {
+		t.Errorf("json row wrong or keys reordered:\n%s", out)
+	}
+	if !strings.Contains(out, `"columns": ["zeta", "alpha", "n"]`) {
+		t.Errorf("json columns wrong:\n%s", out)
+	}
+	// Numeric cells are JSON numbers, not strings.
+	if strings.Contains(out, `"1.50"`) || strings.Contains(out, `"3"`) {
+		t.Errorf("numeric cell encoded as string:\n%s", out)
+	}
+}
+
+func TestJSONNonFiniteValues(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(F(math.NaN(), 2))
+	tb.AddRow(F(math.Inf(1), 2))
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// NaN and the infinities are not representable as JSON numbers;
+	// they must arrive as strings, keeping the document parseable.
+	for _, want := range []string{`{"v": "NaN"}`, `{"v": "+Inf"}`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("json missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONEscaping(t *testing.T) {
+	tb := NewTable(`Quote " and slash \`, `col"umn`)
+	tb.AddRow(`va"lue`)
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"col\"umn"`) || !strings.Contains(out, `"va\"lue"`) {
+		t.Errorf("json escaping broken:\n%s", out)
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	tb := NewTable("T1", "a")
+	tb.AddRow("x")
+	r := &Report{Name: "demo", Title: "Demo experiment", Tables: []*Table{tb}}
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "== Demo experiment ==\n") {
+		t.Errorf("report heading missing:\n%s", out)
+	}
+	if !strings.Contains(out, "T1") {
+		t.Errorf("report body missing table:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "\n\n") {
+		t.Errorf("tables not separated by a blank line:\n%q", out)
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	tb := NewTable("T1", "a")
+	tb.AddRow("x")
+	r := &Report{Name: "demo", Title: "Demo", Tables: []*Table{tb}}
+	var b strings.Builder
+	if err := r.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "# experiment: demo\n") {
+		t.Errorf("csv experiment header missing:\n%s", out)
+	}
+}
+
+func TestWriteJSONArray(t *testing.T) {
+	mk := func(name string) *Report {
+		tb := NewTable("T", "a")
+		tb.AddRow("x")
+		return &Report{Name: name, Title: name, Tables: []*Table{tb}}
+	}
+	var b strings.Builder
+	if err := WriteJSON(&b, mk("one"), mk("two")); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "[") || !strings.HasSuffix(strings.TrimRight(out, "\n"), "]") {
+		t.Errorf("not a json array:\n%s", out)
+	}
+	if !strings.Contains(out, `"name": "one"`) || !strings.Contains(out, `"name": "two"`) {
+		t.Errorf("array missing reports:\n%s", out)
+	}
+}
+
+// TestJSONDeterministic pins byte-stable output: two encodings of the
+// same table are identical (golden tests depend on this).
+func TestJSONDeterministic(t *testing.T) {
+	tb := NewTable("T", "a", "b", "c")
+	tb.AddRow("x", F(1.0/3.0, 3), 9)
+	var b1, b2 strings.Builder
+	if err := tb.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Error("json encoding not deterministic")
 	}
 }

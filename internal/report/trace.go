@@ -54,7 +54,12 @@ func RenderTrace(w io.Writer, snap obs.Snapshot) error {
 		t := NewTable("Trace time series (virtual seconds)",
 			"name", "samples", "points", "t-first", "t-last", "v-min", "v-mean", "v-max")
 		for _, s := range snap.Series {
-			t.AddRow(seriesSummaryRow(s)...)
+			row := seriesSummaryRow(s)
+			cells := make([]any, len(row))
+			for i, c := range row {
+				cells[i] = c
+			}
+			t.AddRow(cells...)
 		}
 		if err := renderSection(w, t); err != nil {
 			return err
