@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"redreq/internal/des"
+	"redreq/internal/fault"
 	"redreq/internal/obs"
 	"redreq/internal/rng"
 	"redreq/internal/sched"
@@ -91,6 +92,15 @@ type Config struct {
 	// submit/cancel lifecycle (copies placed, losers canceled, cancel
 	// latency in virtual time). Overhead is negligible when nil.
 	Trace *obs.Trace
+	// Faults, when non-nil and non-empty, injects control-plane
+	// faults into the run (see internal/fault): remote submits can be
+	// lost or delayed, cancels can be lost or delayed — leaving
+	// orphan copies that occupy queue slots and, once started, run to
+	// completion on real capacity — and cluster outage windows drop
+	// remote copies and defer local submissions. The injector draws
+	// from its own rng stream, so a nil or empty plan leaves the run
+	// bit-identical to a fault-free one.
+	Faults *fault.Plan
 	// StopAtHorizon ends the simulation at Horizon and computes
 	// metrics over the jobs that completed within the window,
 	// instead of running every submitted job to completion. This is
@@ -124,6 +134,9 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.TargetLoad < 0 {
 		return fmt.Errorf("core: negative target load %v", cfg.TargetLoad)
+	}
+	if err := cfg.Faults.Validate(len(cfg.Clusters)); err != nil {
+		return err
 	}
 	return nil
 }
@@ -180,6 +193,37 @@ type Result struct {
 	// Unfinished counts jobs excluded from Jobs because they had not
 	// completed when a StopAtHorizon run ended.
 	Unfinished int
+	// Faults aggregates injected-fault outcomes; all zero when the
+	// run had no fault plan.
+	Faults FaultStats
+}
+
+// FaultStats aggregates what the fault injector actually did to a run.
+type FaultStats struct {
+	// SubmitsLost counts remote copies whose submit message was lost
+	// (including copies dropped because their target was in an outage
+	// window): they were never enqueued anywhere.
+	SubmitsLost int64
+	// SubmitsDeferred counts local submissions pushed to the end of a
+	// home-cluster outage window (the user retries until the daemon
+	// answers; the job's Submit time still marks the first attempt).
+	SubmitsDeferred int64
+	// SubmitsDelayed counts remote copies delivered late; MootSubmits
+	// counts delayed copies that arrived after the job already had a
+	// winner and were discarded unsent.
+	SubmitsDelayed int64
+	MootSubmits    int64
+	// CancelsLost and CancelsDelayed count loser-cancel messages that
+	// were dropped or delivered late. A lost cancel always orphans
+	// its copy; a delayed one orphans it only when the copy starts
+	// before the cancel lands.
+	CancelsLost    int64
+	CancelsDelayed int64
+	// OrphanStarts counts orphan copies that began execution;
+	// OrphanCPUSeconds is the capacity they consumed (runtime x
+	// nodes), since an orphan that starts runs to completion.
+	OrphanStarts     int64
+	OrphanCPUSeconds float64
 }
 
 // gridJob tracks one job's redundant copies during simulation.
@@ -197,6 +241,11 @@ type engine struct {
 	clusters []*sched.Cluster
 	jobs     []*gridJob
 
+	// inj is the fault injector; nil on fault-free runs, where every
+	// fault hook degrades to a nil-receiver no-op.
+	inj    *fault.Injector
+	faults FaultStats
+
 	// Slab allocators for the two per-job object kinds. Requests and
 	// grid jobs all live until collect(), so carving them out of
 	// chunks costs one allocation per chunk instead of one per object.
@@ -210,6 +259,15 @@ type engine struct {
 	cCopiesRemote  *obs.Counter
 	cLosers        *obs.Counter
 	hCancelLatency *obs.Histogram
+
+	// Fault instruments, registered only when a plan is active so
+	// fault-free traces keep their exact instrument set.
+	cFSubmitsLost    *obs.Counter
+	cFSubmitsDefer   *obs.Counter
+	cFCancelsLost    *obs.Counter
+	cFCancelsDelayed *obs.Counter
+	cOrphans         *obs.Counter
+	hOrphanRuntime   *obs.Histogram
 }
 
 // Run executes one simulation and returns its result. Runs are
@@ -222,6 +280,7 @@ func Run(cfg Config) (*Result, error) {
 		cfg: cfg,
 		sim: des.New(),
 		src: rng.New(cfg.Seed ^ 0xA5A5A5A5),
+		inj: fault.NewInjector(cfg.Faults, cfg.Seed),
 	}
 	if tr := cfg.Trace; tr != nil {
 		e.sim.SetTrace(tr)
@@ -231,6 +290,14 @@ func Run(cfg Config) (*Result, error) {
 		e.cCopiesRemote = tr.Counter("core.copies.remote")
 		e.cLosers = tr.Counter("core.cancels.losers")
 		e.hCancelLatency = tr.Histogram("core.cancel_latency")
+		if e.inj != nil {
+			e.cFSubmitsLost = tr.Counter("core.faults.submits_lost")
+			e.cFSubmitsDefer = tr.Counter("core.faults.submits_deferred")
+			e.cFCancelsLost = tr.Counter("core.faults.cancels_lost")
+			e.cFCancelsDelayed = tr.Counter("core.faults.cancels_delayed")
+			e.cOrphans = tr.Counter("core.orphans.started")
+			e.hOrphanRuntime = tr.Histogram("core.orphans.runtime")
+		}
 	}
 
 	// Calibrate a shared runtime scale against the reference
@@ -401,11 +468,47 @@ func arriveAction(a any) {
 	gj.eng.arrive(gj)
 }
 
+// pendingSubmit carries one fault-delayed remote copy until its
+// submit message is delivered.
+type pendingSubmit struct {
+	gj     *gridJob
+	target int
+}
+
+// delayedSubmitAction delivers a fault-delayed remote submit.
+func delayedSubmitAction(a any) {
+	p := a.(*pendingSubmit)
+	p.gj.eng.deliverSubmit(p.gj, p.target)
+}
+
+// delayedCancelAction delivers a fault-delayed loser cancel. By the
+// time it lands the copy may already be running — then the cancel
+// fails and the copy runs to completion as an orphan (counted at its
+// start).
+func delayedCancelAction(a any) {
+	r := a.(*sched.Request)
+	e := r.Owner.(*gridJob).eng
+	if r.Cluster().Cancel(r) {
+		e.cLosers.Inc()
+		e.hCancelLatency.Observe(e.sim.Now() - r.Submit)
+	}
+}
+
 // arrive submits a job's request(s) at its arrival time. The job's
 // shape (home cluster, nodes, runtime, estimate) rides in gj.rec.
 func (e *engine) arrive(gj *gridJob) {
 	n := len(e.clusters)
 	home := gj.rec.Home
+	if until, down := e.inj.Down(home, e.sim.Now()); down {
+		// The home daemon is unreachable: the user keeps retrying, so
+		// the submission lands when the outage lifts. The job's Submit
+		// time stays at the first attempt — the wait counts against
+		// its stretch.
+		e.faults.SubmitsDeferred++
+		e.cFSubmitsDefer.Inc()
+		e.sim.ScheduleFn(until, 0, arriveAction, gj)
+		return
+	}
 	redundant := e.cfg.Scheme != SchemeNone && n > 1 &&
 		(e.cfg.RedundantFraction >= 1 || e.src.Bernoulli(e.cfg.RedundantFraction))
 	targets := []int{home}
@@ -424,19 +527,62 @@ func (e *engine) arrive(gj *gridJob) {
 
 	gj.copies = make([]*sched.Request, 0, len(targets))
 	for _, t := range targets {
-		est := gj.rec.Estimate
-		if t != home && e.cfg.InflateRemote > 0 {
-			est *= 1 + e.cfg.InflateRemote
+		if t != home {
+			// Remote copies ride the control plane: they can be lost
+			// outright, dropped into an outage, or delivered late.
+			if lost, delay := e.inj.SubmitFate(); lost {
+				e.faults.SubmitsLost++
+				e.cFSubmitsLost.Inc()
+				gj.rec.Copies--
+				continue
+			} else if delay > 0 {
+				e.faults.SubmitsDelayed++
+				e.sim.ScheduleFn(e.sim.Now()+delay, 0, delayedSubmitAction, &pendingSubmit{gj: gj, target: t})
+				continue
+			}
+			if _, down := e.inj.Down(t, e.sim.Now()); down {
+				e.faults.SubmitsLost++
+				e.cFSubmitsLost.Inc()
+				gj.rec.Copies--
+				continue
+			}
 		}
-		r := e.newRequest()
-		r.JobID = gj.rec.ID
-		r.Owner = gj
-		r.Nodes = gj.rec.Nodes
-		r.Runtime = gj.rec.Runtime
-		r.Estimate = est
-		gj.copies = append(gj.copies, r)
-		e.clusters[t].Submit(r)
+		e.submitCopy(gj, t)
 	}
+}
+
+// submitCopy enqueues one copy of gj at cluster t.
+func (e *engine) submitCopy(gj *gridJob, t int) {
+	est := gj.rec.Estimate
+	if t != gj.rec.Home && e.cfg.InflateRemote > 0 {
+		est *= 1 + e.cfg.InflateRemote
+	}
+	r := e.newRequest()
+	r.JobID = gj.rec.ID
+	r.Owner = gj
+	r.Nodes = gj.rec.Nodes
+	r.Runtime = gj.rec.Runtime
+	r.Estimate = est
+	gj.copies = append(gj.copies, r)
+	e.clusters[t].Submit(r)
+}
+
+// deliverSubmit lands a fault-delayed remote submit. A copy arriving
+// after the job already has a winner is moot and is discarded; one
+// arriving into an outage window is dropped.
+func (e *engine) deliverSubmit(gj *gridJob, t int) {
+	if gj.winner != nil {
+		e.faults.MootSubmits++
+		gj.rec.Copies--
+		return
+	}
+	if _, down := e.inj.Down(t, e.sim.Now()); down {
+		e.faults.SubmitsLost++
+		e.cFSubmitsLost.Inc()
+		gj.rec.Copies--
+		return
+	}
+	e.submitCopy(gj, t)
 }
 
 // onStart fires when any request begins execution: the first copy to
@@ -449,6 +595,16 @@ func (e *engine) onStart(r *sched.Request) {
 		panic("core: start callback for unknown request")
 	}
 	if gj.winner != nil {
+		// With faults on, a copy whose cancel was lost or delivered
+		// late is an orphan: it kept its queue slot and now consumes
+		// real capacity, running to completion.
+		if e.inj != nil {
+			e.faults.OrphanStarts++
+			e.faults.OrphanCPUSeconds += r.Runtime * float64(r.Nodes)
+			e.cOrphans.Inc()
+			e.hOrphanRuntime.Observe(r.Runtime)
+			return
+		}
 		panic(fmt.Sprintf("core: job %d started twice (clusters %s and %s)",
 			gj.rec.ID, gj.winner.Cluster().Name, r.Cluster().Name))
 	}
@@ -456,7 +612,21 @@ func (e *engine) onStart(r *sched.Request) {
 	gj.rec.Start = r.Start
 	gj.rec.Winner = r.Cluster().Index
 	for _, c := range gj.copies {
-		if c != r && c.Cluster().Cancel(c) {
+		if c == r {
+			continue
+		}
+		if lost, delay := e.inj.CancelFate(); lost {
+			// The cancel message never arrives: the copy is orphaned.
+			e.faults.CancelsLost++
+			e.cFCancelsLost.Inc()
+			continue
+		} else if delay > 0 {
+			e.faults.CancelsDelayed++
+			e.cFCancelsDelayed.Inc()
+			e.sim.ScheduleFn(e.sim.Now()+delay, 0, delayedCancelAction, c)
+			continue
+		}
+		if c.Cluster().Cancel(c) {
 			// Cancel latency in virtual time: how long the losing
 			// copy occupied a remote queue before the winner started.
 			e.cLosers.Inc()
@@ -468,7 +638,15 @@ func (e *engine) onStart(r *sched.Request) {
 // onFinish fires when the winning copy completes.
 func (e *engine) onFinish(r *sched.Request) {
 	gj, _ := r.Owner.(*gridJob)
-	if gj == nil || gj.winner != r {
+	if gj == nil {
+		panic("core: finish callback for unknown request")
+	}
+	if gj.winner != r {
+		if e.inj != nil {
+			// An orphan ran to completion; its capacity cost was
+			// charged when it started.
+			return
+		}
 		panic("core: finish callback for non-winning request")
 	}
 	gj.rec.End = r.End
@@ -480,6 +658,7 @@ func (e *engine) collect() (*Result, error) {
 	res := &Result{
 		Jobs:   make([]JobRecord, 0, len(e.jobs)),
 		Events: e.sim.Processed(),
+		Faults: e.faults,
 	}
 	for _, gj := range e.jobs {
 		if gj.winner == nil || gj.rec.End == 0 {

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"testing"
+
+	"redreq/internal/fault"
+	"redreq/internal/obs"
+	"redreq/internal/sched"
+	"redreq/internal/workload"
+)
+
+// faultCfg is a contended redundant setup where cancels matter: every
+// job is redundant across all four clusters, so lost cancels orphan
+// copies that real capacity then has to absorb.
+func faultCfg(plan *fault.Plan) Config {
+	return Config{
+		Clusters: []ClusterSpec{{Nodes: 32}, {Nodes: 32}, {Nodes: 32}, {Nodes: 32}},
+		Alg:      sched.EASY, Scheme: SchemeAll,
+		RedundantFraction: 1, Selection: SelUniform,
+		Horizon: 1800, EstMode: workload.Exact,
+		TargetLoad: 0.9, MinRuntime: 30, MaxRuntime: 7200,
+		Seed:   4242,
+		Faults: plan,
+	}
+}
+
+// An explicit empty plan must leave the run bit-identical to a nil
+// one — the injector is strictly opt-in.
+func TestEmptyFaultPlanIsIdentical(t *testing.T) {
+	a, err := Run(faultCfg(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(faultCfg(&fault.Plan{Seed: 99}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.MakeSpan != b.MakeSpan || len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("empty plan diverged: events %d/%d makespan %v/%v jobs %d/%d",
+			a.Events, b.Events, a.MakeSpan, b.MakeSpan, len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if !recordsEqual(a.Jobs[i], b.Jobs[i]) {
+			t.Fatalf("job %d differs:\n  %+v\n  %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+	if b.Faults != (FaultStats{}) {
+		t.Fatalf("empty plan reported fault activity: %+v", b.Faults)
+	}
+}
+
+// Lost cancels must orphan copies, and the orphans must both start
+// (consuming capacity) and be fully accounted.
+func TestLostCancelsOrphan(t *testing.T) {
+	tr := obs.New()
+	cfg := faultCfg(&fault.Plan{CancelLoss: 0.5})
+	cfg.Trace = tr
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.CancelsLost == 0 {
+		t.Fatal("no cancels lost at 50% loss in a contended ALL run")
+	}
+	if res.Faults.OrphanStarts == 0 {
+		t.Fatal("lost cancels produced no orphan starts")
+	}
+	if res.Faults.OrphanStarts > res.Faults.CancelsLost {
+		t.Fatalf("more orphan starts (%d) than lost cancels (%d)",
+			res.Faults.OrphanStarts, res.Faults.CancelsLost)
+	}
+	if res.Faults.OrphanCPUSeconds <= 0 {
+		t.Fatalf("orphans started but consumed %v CPU-seconds", res.Faults.OrphanCPUSeconds)
+	}
+	// Every job still runs exactly once from the record's view.
+	for _, j := range res.Jobs {
+		if j.End <= j.Start || j.Start < j.Submit {
+			t.Fatalf("job %d has a broken timeline: %+v", j.ID, j)
+		}
+	}
+	snap := tr.Snapshot()
+	if got := snap.Counter("core.faults.cancels_lost"); got != res.Faults.CancelsLost {
+		t.Fatalf("trace counter cancels_lost = %d, stats say %d", got, res.Faults.CancelsLost)
+	}
+	if got := snap.Counter("core.orphans.started"); got != res.Faults.OrphanStarts {
+		t.Fatalf("trace counter orphans.started = %d, stats say %d", got, res.Faults.OrphanStarts)
+	}
+}
+
+// Delayed cancels land late: some still catch their copy in the
+// queue, the rest orphan it.
+func TestDelayedCancels(t *testing.T) {
+	res, err := Run(faultCfg(&fault.Plan{CancelDelayMean: 300}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.CancelsDelayed == 0 {
+		t.Fatal("no delayed cancels recorded")
+	}
+	if res.Faults.CancelsLost != 0 {
+		t.Fatalf("delay-only plan lost %d cancels", res.Faults.CancelsLost)
+	}
+}
+
+// Lost remote submits thin the copy fan-out but never kill a job: the
+// home copy always lands, so every job completes.
+func TestLostSubmits(t *testing.T) {
+	res, err := Run(faultCfg(&fault.Plan{SubmitLoss: 0.5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.SubmitsLost == 0 {
+		t.Fatal("no submits lost at 50% loss")
+	}
+	if res.Faults.OrphanStarts != 0 {
+		t.Fatalf("submit-loss-only plan produced %d orphans", res.Faults.OrphanStarts)
+	}
+	for _, j := range res.Jobs {
+		if j.Copies < 1 || j.Copies > 4 {
+			t.Fatalf("job %d records %d copies", j.ID, j.Copies)
+		}
+	}
+}
+
+// A home-cluster outage defers local submissions to the window's end;
+// Submit keeps the first-attempt time so the wait shows up in stretch.
+func TestOutageDefersHomeSubmits(t *testing.T) {
+	plan := &fault.Plan{Outages: []fault.Outage{{Cluster: 0, Start: 0, End: 900}}}
+	res, err := Run(faultCfg(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.SubmitsDeferred == 0 {
+		t.Fatal("no submissions deferred during a 900 s home outage")
+	}
+	sawDeferredWait := false
+	for _, j := range res.Jobs {
+		if j.Home != 0 {
+			continue
+		}
+		if j.Submit < 900 && j.Start < 900 {
+			t.Fatalf("job %d started at %v inside its home outage ending at 900 (submit %v, winner %d)",
+				j.ID, j.Start, j.Submit, j.Winner)
+		}
+		if j.Submit < 900 && j.Start >= 900 {
+			sawDeferredWait = true
+		}
+	}
+	if !sawDeferredWait {
+		t.Fatal("no cluster-0 job shows the outage wait in its timeline")
+	}
+}
+
+// Same plan + same seed must replay byte-identical timelines and
+// fault stats; a different plan seed must diverge in its fault stream.
+func TestFaultDeterminism(t *testing.T) {
+	plan := &fault.Plan{Seed: 5, SubmitLoss: 0.1, CancelLoss: 0.25, CancelDelayMean: 120}
+	a, err := Run(faultCfg(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(faultCfg(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Events != b.Events || a.Faults != b.Faults || len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("same plan diverged: events %d/%d faults %+v / %+v",
+			a.Events, b.Events, a.Faults, b.Faults)
+	}
+	for i := range a.Jobs {
+		if !recordsEqual(a.Jobs[i], b.Jobs[i]) {
+			t.Fatalf("job %d differs:\n  %+v\n  %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+	plan2 := *plan
+	plan2.Seed = 6
+	c, err := Run(faultCfg(&plan2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Faults == c.Faults {
+		t.Fatal("different plan seeds drew identical fault stats (suspicious)")
+	}
+}
+
+func TestFaultPlanValidation(t *testing.T) {
+	cfg := faultCfg(&fault.Plan{CancelLoss: 2})
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+	cfg = faultCfg(&fault.Plan{Outages: []fault.Outage{{Cluster: 9, Start: 0, End: 1}}})
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("outage on nonexistent cluster accepted")
+	}
+}

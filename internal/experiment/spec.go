@@ -87,6 +87,7 @@ var specs = []*Spec{
 	ablationsSpec,
 	multiqSpec,
 	moldableSpec,
+	faultsSpec,
 }
 
 // All returns every registered experiment in execution order.

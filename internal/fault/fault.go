@@ -1,0 +1,176 @@
+// Package fault is the deterministic fault-injection layer shared by
+// both halves of the repository. A Plan declares what goes wrong — the
+// control plane losing or delaying submit/cancel messages, clusters (or
+// the daemon behind them) being unreachable for a window — and an
+// Injector turns the plan into a reproducible stream of per-message
+// fate decisions, seeded from the run seed so every replication of an
+// experiment sees its own, but repeatable, fault sequence.
+//
+// The simulation engine (internal/core) consults an Injector on every
+// remote submit and every loser cancel: a lost cancel leaves an orphan
+// copy that occupies its queue slot and, if it starts, runs to
+// completion on real capacity. The real network stack is exercised
+// through Proxy (proxy.go), which injects the same failure classes —
+// refused connections, black holes, dropped responses, latency — in
+// front of a live TCP server.
+//
+// Determinism: an Injector is a pure function of (Plan, seed) and the
+// order of its method calls. The simulation is single-threaded over a
+// discrete-event queue with deterministic tie-breaking, so a fixed
+// config (plan included) replays the identical fault sequence; the
+// injector draws from its own rng stream and never perturbs the
+// workload generator's. A nil or empty Plan injects nothing and costs
+// the hot path only a nil check.
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"redreq/internal/rng"
+)
+
+// Outage is a window during which one cluster's control plane is
+// unreachable: remote copies targeted at it are dropped, and local
+// submissions to it are deferred to the window's end (the submitting
+// client retries until the daemon answers again). It models both
+// planned drain windows and daemon crash-restart cycles.
+type Outage struct {
+	// Cluster is the affected cluster's index; -1 means every cluster.
+	Cluster int
+	// Start and End bound the window in virtual-time seconds,
+	// half-open [Start, End).
+	Start, End float64
+}
+
+// Plan declares the faults injected into one run. The zero value is
+// the empty plan: nothing is injected.
+type Plan struct {
+	// Seed decorrelates the fault stream from the workload stream; the
+	// injector mixes it with the run seed, so two plans differing only
+	// in Seed draw independent fault sequences on identical workloads.
+	Seed uint64
+	// SubmitLoss is the probability that a remote submit message is
+	// lost: the copy is never enqueued anywhere. Local (home-cluster)
+	// submissions are never lost — the user is sitting at that
+	// cluster — only deferred by outages.
+	SubmitLoss float64
+	// CancelLoss is the probability that a cancel message is lost
+	// entirely, leaving an orphan copy.
+	CancelLoss float64
+	// SubmitDelayMean and CancelDelayMean, when positive, delay each
+	// delivered message by an exponential variate with that mean (in
+	// seconds). A cancel delayed past its copy's start leaves a
+	// running orphan.
+	SubmitDelayMean float64
+	CancelDelayMean float64
+	// Outages lists control-plane unavailability windows.
+	Outages []Outage
+}
+
+// Empty reports whether the plan injects nothing. Engines treat an
+// empty plan exactly like a nil one, so configurations round-tripped
+// through a zero Plan stay byte-identical to fault-free runs.
+func (p *Plan) Empty() bool {
+	return p == nil || (p.SubmitLoss == 0 && p.CancelLoss == 0 &&
+		p.SubmitDelayMean == 0 && p.CancelDelayMean == 0 && len(p.Outages) == 0)
+}
+
+// Validate reports the first problem with the plan for a platform of
+// the given number of clusters. A nil plan is valid.
+func (p *Plan) Validate(clusters int) error {
+	if p == nil {
+		return nil
+	}
+	for name, v := range map[string]float64{"SubmitLoss": p.SubmitLoss, "CancelLoss": p.CancelLoss} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			return fmt.Errorf("fault: %s %v outside [0,1]", name, v)
+		}
+	}
+	for name, v := range map[string]float64{"SubmitDelayMean": p.SubmitDelayMean, "CancelDelayMean": p.CancelDelayMean} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("fault: negative or non-finite %s %v", name, v)
+		}
+	}
+	for i, o := range p.Outages {
+		if o.Cluster < -1 || o.Cluster >= clusters {
+			return fmt.Errorf("fault: outage %d targets cluster %d of %d", i, o.Cluster, clusters)
+		}
+		if !(o.Start >= 0) || !(o.End > o.Start) {
+			return fmt.Errorf("fault: outage %d window [%v, %v) is not a forward window", i, o.Start, o.End)
+		}
+	}
+	return nil
+}
+
+// Injector draws per-message fault decisions for one run. It is not
+// safe for concurrent use; create one Injector per simulation, like a
+// rng.Source.
+type Injector struct {
+	plan Plan
+	src  *rng.Source
+}
+
+// NewInjector builds the injector for a plan under a run seed. A nil
+// or empty plan returns nil: every Injector method is a no-fault no-op
+// on a nil receiver, so callers hold a single pointer and pay one nil
+// check per message.
+func NewInjector(p *Plan, runSeed uint64) *Injector {
+	if p.Empty() {
+		return nil
+	}
+	// splitmix64-style mix so (runSeed, plan.Seed) pairs that differ in
+	// either word produce decorrelated streams.
+	z := runSeed ^ (p.Seed * 0x9E3779B97F4A7C15) ^ 0xF4017A57
+	return &Injector{plan: *p, src: rng.New(z)}
+}
+
+// SubmitFate decides a remote submit message's fate: lost entirely, or
+// delivered after delay seconds (0 = immediately).
+func (in *Injector) SubmitFate() (lost bool, delay float64) {
+	if in == nil {
+		return false, 0
+	}
+	return in.fate(in.plan.SubmitLoss, in.plan.SubmitDelayMean)
+}
+
+// CancelFate decides a cancel message's fate: lost entirely (the copy
+// becomes an orphan), or delivered after delay seconds.
+func (in *Injector) CancelFate() (lost bool, delay float64) {
+	if in == nil {
+		return false, 0
+	}
+	return in.fate(in.plan.CancelLoss, in.plan.CancelDelayMean)
+}
+
+// fate draws loss first and, only for delivered messages, the delay —
+// so the stream length per message is state-independent within each
+// branch and runs replay exactly.
+func (in *Injector) fate(loss, delayMean float64) (bool, float64) {
+	if loss > 0 && in.src.Bernoulli(loss) {
+		return true, 0
+	}
+	if delayMean > 0 {
+		return false, in.src.Exponential(delayMean)
+	}
+	return false, 0
+}
+
+// Down reports whether cluster is inside an outage window at time t
+// and, if so, the latest End among the windows covering it (the time
+// at which a deferred local submission goes through). Windows may
+// overlap; the injector scans them linearly — plans hold a handful.
+func (in *Injector) Down(cluster int, t float64) (until float64, down bool) {
+	if in == nil {
+		return 0, false
+	}
+	for _, o := range in.plan.Outages {
+		if o.Cluster != -1 && o.Cluster != cluster {
+			continue
+		}
+		if t >= o.Start && t < o.End && o.End > until {
+			until, down = o.End, true
+		}
+	}
+	return until, down
+}

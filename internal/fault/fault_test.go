@@ -1,0 +1,247 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestEmptyPlanInjectsNothing(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan should be empty")
+	}
+	if !(&Plan{Seed: 42}).Empty() {
+		t.Fatal("plan with only a seed should be empty")
+	}
+	if (&Plan{CancelLoss: 0.1}).Empty() {
+		t.Fatal("plan with cancel loss should not be empty")
+	}
+	if (&Plan{Outages: []Outage{{Cluster: -1, Start: 0, End: 1}}}).Empty() {
+		t.Fatal("plan with outages should not be empty")
+	}
+
+	in := NewInjector(nil, 1)
+	if in != nil {
+		t.Fatal("nil plan should build a nil injector")
+	}
+	if lost, delay := in.SubmitFate(); lost || delay != 0 {
+		t.Fatalf("nil injector SubmitFate = (%v, %v)", lost, delay)
+	}
+	if lost, delay := in.CancelFate(); lost || delay != 0 {
+		t.Fatalf("nil injector CancelFate = (%v, %v)", lost, delay)
+	}
+	if until, down := in.Down(0, 100); down || until != 0 {
+		t.Fatalf("nil injector Down = (%v, %v)", until, down)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"empty", &Plan{}, true},
+		{"good", &Plan{SubmitLoss: 0.5, CancelLoss: 1, SubmitDelayMean: 3, Outages: []Outage{{Cluster: -1, Start: 0, End: 10}}}, true},
+		{"loss above one", &Plan{CancelLoss: 1.5}, false},
+		{"negative loss", &Plan{SubmitLoss: -0.1}, false},
+		{"negative delay", &Plan{CancelDelayMean: -1}, false},
+		{"outage bad cluster", &Plan{Outages: []Outage{{Cluster: 4, Start: 0, End: 1}}}, false},
+		{"outage backwards", &Plan{Outages: []Outage{{Cluster: 0, Start: 5, End: 5}}}, false},
+		{"outage negative start", &Plan{Outages: []Outage{{Cluster: 0, Start: -1, End: 1}}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate(4)
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: expected error, got nil", c.name)
+		}
+	}
+}
+
+// drawStream records a mixed sequence of fate draws as a comparable string.
+func drawStream(in *Injector, n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		l1, d1 := in.SubmitFate()
+		l2, d2 := in.CancelFate()
+		fmt.Fprintf(&b, "%v %.9g %v %.9g;", l1, d1, l2, d2)
+	}
+	return b.String()
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	plan := &Plan{Seed: 7, SubmitLoss: 0.2, CancelLoss: 0.4, SubmitDelayMean: 5, CancelDelayMean: 11}
+	a := drawStream(NewInjector(plan, 123), 500)
+	b := drawStream(NewInjector(plan, 123), 500)
+	if a != b {
+		t.Fatal("same plan + same run seed must replay the identical fate stream")
+	}
+	c := drawStream(NewInjector(plan, 124), 500)
+	if a == c {
+		t.Fatal("different run seeds should draw different fate streams")
+	}
+	plan2 := *plan
+	plan2.Seed = 8
+	d := drawStream(NewInjector(&plan2, 123), 500)
+	if a == d {
+		t.Fatal("different plan seeds should draw different fate streams")
+	}
+}
+
+func TestFateRates(t *testing.T) {
+	plan := &Plan{CancelLoss: 0.3, CancelDelayMean: 10}
+	in := NewInjector(plan, 99)
+	const n = 20000
+	lostCount, delaySum, delivered := 0, 0.0, 0
+	for i := 0; i < n; i++ {
+		lost, delay := in.CancelFate()
+		if lost {
+			lostCount++
+			if delay != 0 {
+				t.Fatal("lost message must not also carry a delay")
+			}
+		} else {
+			delivered++
+			delaySum += delay
+		}
+	}
+	if rate := float64(lostCount) / n; rate < 0.27 || rate > 0.33 {
+		t.Fatalf("loss rate %.3f far from 0.3", rate)
+	}
+	if mean := delaySum / float64(delivered); mean < 9 || mean > 11 {
+		t.Fatalf("delay mean %.2f far from 10", mean)
+	}
+	// Submit side is fault-free in this plan.
+	if lost, delay := in.SubmitFate(); lost || delay != 0 {
+		t.Fatalf("SubmitFate = (%v, %v) on submit-clean plan", lost, delay)
+	}
+}
+
+func TestDown(t *testing.T) {
+	plan := &Plan{Outages: []Outage{
+		{Cluster: 1, Start: 100, End: 200},
+		{Cluster: -1, Start: 150, End: 180},
+	}}
+	in := NewInjector(plan, 1)
+
+	if _, down := in.Down(1, 99.9); down {
+		t.Fatal("before the window should be up")
+	}
+	if until, down := in.Down(1, 100); !down || until != 200 {
+		t.Fatalf("at window start: (%v, %v)", until, down)
+	}
+	if _, down := in.Down(1, 200); down {
+		t.Fatal("window end is exclusive")
+	}
+	// Cluster 0 is only covered by the -1 (all clusters) window.
+	if _, down := in.Down(0, 120); down {
+		t.Fatal("cluster 0 should be up outside the global window")
+	}
+	if until, down := in.Down(0, 160); !down || until != 180 {
+		t.Fatalf("global window: (%v, %v)", until, down)
+	}
+	// Overlap on cluster 1: the later End wins.
+	if until, down := in.Down(1, 160); !down || until != 200 {
+		t.Fatalf("overlapping windows: (%v, %v)", until, down)
+	}
+}
+
+// startEcho runs a trivial line-echo TCP server for proxy tests.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				for sc.Scan() {
+					fmt.Fprintf(c, "echo %s\n", sc.Text())
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func proxyLine(t *testing.T, addr, line string, timeout time.Duration) (string, error) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(conn, "%s\n", line); err != nil {
+		return "", err
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", fmt.Errorf("eof")
+	}
+	return sc.Text(), nil
+}
+
+func TestProxyVerdicts(t *testing.T) {
+	backend := startEcho(t)
+	verdicts := []Verdict{Forward, Refuse, Blackhole, DropResponse, Forward}
+	p := &Proxy{Backend: backend, Decide: func(n int) Verdict {
+		if n < len(verdicts) {
+			return verdicts[n]
+		}
+		return Forward
+	}}
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// 0: forwarded end to end.
+	if got, err := proxyLine(t, addr, "hi", 2*time.Second); err != nil || got != "echo hi" {
+		t.Fatalf("forward: got %q, %v", got, err)
+	}
+	// 1: refused — connect succeeds (the proxy accepted) but the
+	// conversation dies without a response.
+	if got, err := proxyLine(t, addr, "hi", 2*time.Second); err == nil {
+		t.Fatalf("refuse: unexpectedly got %q", got)
+	}
+	// 2: blackholed — no bytes flow; the client's own deadline fires.
+	start := time.Now()
+	if got, err := proxyLine(t, addr, "hi", 300*time.Millisecond); err == nil {
+		t.Fatalf("blackhole: unexpectedly got %q", got)
+	} else if time.Since(start) < 250*time.Millisecond {
+		t.Fatalf("blackhole: failed too fast (%v): %v", time.Since(start), err)
+	}
+	// 3: response dropped — the backend processed the line but the
+	// client never sees the ack.
+	if got, err := proxyLine(t, addr, "hi", 2*time.Second); err == nil {
+		t.Fatalf("drop-response: unexpectedly got %q", got)
+	}
+	// 4: service restored.
+	if got, err := proxyLine(t, addr, "again", 2*time.Second); err != nil || got != "echo again" {
+		t.Fatalf("forward after faults: got %q, %v", got, err)
+	}
+	if p.Connections() != 5 {
+		t.Fatalf("proxy saw %d connections, want 5", p.Connections())
+	}
+}

@@ -1,0 +1,174 @@
+package fault
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Verdict is a Proxy's decision for one inbound connection.
+type Verdict int
+
+const (
+	// Forward relays the connection transparently.
+	Forward Verdict = iota
+	// Refuse closes the inbound connection immediately without
+	// contacting the backend — the client sees a reset or EOF, the
+	// same shape as a connection refused by a dead daemon.
+	Refuse
+	// Blackhole accepts the connection and then reads nothing and
+	// writes nothing until the client gives up, modeling a daemon that
+	// is up but wedged. Clients must hit their own deadline.
+	Blackhole
+	// DropResponse forwards the client's traffic to the backend but
+	// discards everything the backend sends back, then closes. The
+	// operation is performed — the ack is lost, the classic trigger
+	// for a duplicate resubmit.
+	DropResponse
+)
+
+// Proxy is a fault-injecting TCP proxy for tests: it sits in front of
+// a live server (pbsd listener or middleware HTTP endpoint) and
+// applies a per-connection Verdict chosen by Decide, plus an optional
+// fixed Delay before bytes start flowing. The zero Decide forwards
+// everything.
+type Proxy struct {
+	// Backend is the address of the real server.
+	Backend string
+	// Decide picks the verdict for the n-th accepted connection
+	// (0-based). Nil means Forward for all.
+	Decide func(n int) Verdict
+	// Delay, when positive, is applied before relaying begins on
+	// forwarded connections.
+	Delay time.Duration
+
+	ln    net.Listener
+	wg    sync.WaitGroup
+	next  atomic.Int64
+	seen  atomic.Int64
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+// Start listens on a loopback port and begins accepting. It returns
+// the proxy's address for clients to dial.
+func (p *Proxy) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	p.ln = ln
+	p.conns = make(map[net.Conn]struct{})
+	p.wg.Add(1)
+	go p.accept()
+	return ln.Addr().String(), nil
+}
+
+// Connections reports how many connections the proxy has accepted.
+func (p *Proxy) Connections() int { return int(p.seen.Load()) }
+
+// Close stops accepting and tears down every open connection.
+func (p *Proxy) Close() {
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *Proxy) accept() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		n := int(p.next.Add(1) - 1)
+		p.seen.Store(p.next.Load())
+		verdict := Forward
+		if p.Decide != nil {
+			verdict = p.Decide(n)
+		}
+		p.wg.Add(1)
+		go p.serve(conn, verdict)
+	}
+}
+
+func (p *Proxy) serve(client net.Conn, v Verdict) {
+	defer p.wg.Done()
+	p.track(client)
+	defer p.untrack(client)
+
+	switch v {
+	case Refuse:
+		return
+	case Blackhole:
+		// Hold the connection open, moving no bytes, until the client
+		// or Close gives up on us.
+		io.Copy(io.Discard, client)
+		return
+	}
+
+	if p.Delay > 0 {
+		time.Sleep(p.Delay)
+	}
+	backend, err := net.Dial("tcp", p.Backend)
+	if err != nil {
+		return
+	}
+	p.track(backend)
+	defer p.untrack(backend)
+
+	done := make(chan struct{}, 2)
+	go func() {
+		io.Copy(backend, client)
+		// Propagate the client's EOF so line-oriented backends see a
+		// closed read side and finish their in-flight command.
+		if cw, ok := backend.(*net.TCPConn); ok {
+			cw.CloseWrite()
+		}
+		done <- struct{}{}
+	}()
+	go func() {
+		if v == DropResponse {
+			// The operation reaches the backend, but its ack does not
+			// reach the client: the moment the backend answers, cut
+			// the client off so it observes a lost response rather
+			// than a slow one.
+			buf := make([]byte, 4096)
+			for {
+				n, err := backend.Read(buf)
+				if n > 0 {
+					client.Close()
+				}
+				if err != nil {
+					break
+				}
+			}
+		} else {
+			io.Copy(client, backend)
+		}
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+}

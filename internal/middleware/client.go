@@ -5,36 +5,128 @@ package middleware
 
 import (
 	"bytes"
+	"context"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"redreq/internal/obs"
 )
+
+// ClientOptions tunes a Client's timeout and retry behavior. The zero
+// value gives the defaults documented on each field.
+type ClientOptions struct {
+	// Timeout bounds each individual attempt (dial through response
+	// body); 0 uses 30 s. The per-call context, if any, bounds the
+	// whole call including backoff sleeps.
+	Timeout time.Duration
+	// Retries is the number of additional attempts after a retryable
+	// failure (transport errors and BUSY shedding; service faults and
+	// malformed responses are never retried). 0 disables retries.
+	Retries int
+	// RetryBase is the backoff before the first retry; it doubles per
+	// attempt up to RetryMax. Defaults: 100 ms base, 5 s cap.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Jitter draws the backoff jitter factor in [0,1): each sleep is
+	// uniformly spread over [d/2, d) to decorrelate clients hammering
+	// a shed endpoint. Nil uses math/rand. Inject a constant for
+	// deterministic tests.
+	Jitter func() float64
+	// Sleep performs the backoff wait; nil uses time.Sleep. Inject a
+	// fake clock to assert backoff timing without real delays.
+	Sleep func(time.Duration)
+	// Transport overrides the HTTP transport (tests).
+	Transport http.RoundTripper
+	// Trace, when non-nil, counts retries (gram.client.retries),
+	// attempt timeouts (gram.client.timeouts), and BUSY shed responses
+	// observed (gram.client.busy).
+	Trace *obs.Trace
+}
 
 // Client submits and cancels jobs through a middleware endpoint.
 type Client struct {
 	base string
 	http *http.Client
+	opt  ClientOptions
 	seq  atomic.Int64
 	name string
+	// nonce makes message IDs unique per client INSTANCE: the ID is
+	// the service's idempotency key, and two clients sharing a sender
+	// name (or one recreated after a crash) must not collide on
+	// "<sender>-1" and replay each other's responses.
+	nonce uint64
+
+	cRetries  *obs.Counter
+	cTimeouts *obs.Counter
+	cBusy     *obs.Counter
 }
 
-// NewClient builds a client for the endpoint base URL.
+// NewClient builds a client with default options: 30 s per-attempt
+// timeout, no retries — the behavior callers of the original
+// fixed-timeout client got.
 func NewClient(baseURL, sender string) *Client {
-	return &Client{
-		base: baseURL,
-		http: &http.Client{Timeout: 30 * time.Second},
-		name: sender,
-	}
+	return NewClientOptions(baseURL, sender, ClientOptions{})
 }
 
-func (c *Client) call(body Body) (*Response, error) {
+// NewClientOptions builds a client with explicit options.
+func NewClientOptions(baseURL, sender string, opt ClientOptions) *Client {
+	if opt.Timeout <= 0 {
+		opt.Timeout = 30 * time.Second
+	}
+	if opt.RetryBase <= 0 {
+		opt.RetryBase = 100 * time.Millisecond
+	}
+	if opt.RetryMax <= 0 {
+		opt.RetryMax = 5 * time.Second
+	}
+	if opt.Jitter == nil {
+		opt.Jitter = rand.Float64
+	}
+	if opt.Sleep == nil {
+		opt.Sleep = time.Sleep
+	}
+	c := &Client{
+		base:  baseURL,
+		http:  &http.Client{Timeout: opt.Timeout, Transport: opt.Transport},
+		opt:   opt,
+		name:  sender,
+		nonce: rand.Uint64(),
+	}
+	if tr := opt.Trace; tr != nil {
+		c.cRetries = tr.Counter("gram.client.retries")
+		c.cTimeouts = tr.Counter("gram.client.timeouts")
+		c.cBusy = tr.Counter("gram.client.busy")
+	}
+	return c
+}
+
+// backoff returns the jittered exponential backoff before retry
+// attempt n (1-based): base*2^(n-1) capped at RetryMax, spread over
+// [d/2, d).
+func (c *Client) backoff(n int) time.Duration {
+	d := c.opt.RetryBase << uint(n-1)
+	if d <= 0 || d > c.opt.RetryMax {
+		d = c.opt.RetryMax
+	}
+	return d/2 + time.Duration(c.opt.Jitter()*float64(d/2))
+}
+
+// call runs one operation with retries. The envelope — and with it
+// the MessageID — is built once, before the retry loop: the message
+// ID doubles as the idempotency key, so a retried submit whose first
+// attempt actually reached the service is deduplicated there instead
+// of double-enqueueing.
+func (c *Client) call(ctx context.Context, body Body) (*Response, error) {
 	env := &Envelope{
 		Header: Header{
-			MessageID: fmt.Sprintf("%s-%d", c.name, c.seq.Add(1)),
+			MessageID: fmt.Sprintf("%s-%x-%d", c.name, c.nonce, c.seq.Add(1)),
 			Sender:    c.name,
 		},
 		Body: body,
@@ -43,31 +135,71 @@ func (c *Client) call(body Body) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
-	resp, err := c.http.Post(c.base+"/gram", "text/xml", bytes.NewReader(raw))
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.cRetries.Inc()
+			c.opt.Sleep(c.backoff(attempt))
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, &TransportError{Op: "post", Err: err}
+		}
+		resp, err := c.attempt(ctx, raw)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var te *TransportError
+		if errors.As(err, &te) && te.Timeout() {
+			c.cTimeouts.Inc()
+		}
+		if errors.Is(err, ErrBusy) {
+			c.cBusy.Inc()
+		}
+		if attempt >= c.opt.Retries || !retryable(err) {
+			return nil, lastErr
+		}
+	}
+}
+
+// attempt performs one HTTP exchange.
+func (c *Client) attempt(ctx context.Context, raw []byte) (*Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/gram", bytes.NewReader(raw))
 	if err != nil {
-		return nil, fmt.Errorf("middleware: post: %w", err)
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "text/xml")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, &TransportError{Op: "post", Err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("middleware: read response: %w", err)
+		return nil, &TransportError{Op: "read response", Err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("middleware: HTTP %d: %s", resp.StatusCode, data)
+		return nil, &StatusError{Code: resp.StatusCode, Body: string(bytes.TrimSpace(data))}
 	}
 	var r Response
 	if err := xml.Unmarshal(data, &r); err != nil {
-		return nil, fmt.Errorf("middleware: decode response: %w", err)
+		return nil, &DecodeError{Err: err}
 	}
 	if !r.OK {
-		return nil, fmt.Errorf("middleware: service error: %s", r.Error)
+		return nil, &ServiceError{Reason: r.Error}
 	}
 	return &r, nil
 }
 
 // Submit sends a SubmitJob operation and returns the job ID.
 func (c *Client) Submit(name string, nodes int, walltime time.Duration) (int64, error) {
-	r, err := c.call(Body{Submit: &SubmitJob{
+	return c.SubmitContext(context.Background(), name, nodes, walltime)
+}
+
+// SubmitContext is Submit bounded by a caller context, which cancels
+// in-flight attempts and remaining retries.
+func (c *Client) SubmitContext(ctx context.Context, name string, nodes int, walltime time.Duration) (int64, error) {
+	r, err := c.call(ctx, Body{Submit: &SubmitJob{
 		Name: name, Nodes: nodes, Walltime: walltime.Seconds(),
 		Arguments: []string{"--input", "data.bin"},
 	}})
@@ -79,13 +211,23 @@ func (c *Client) Submit(name string, nodes int, walltime time.Duration) (int64, 
 
 // Cancel sends a CancelJob operation.
 func (c *Client) Cancel(id int64) error {
-	_, err := c.call(Body{Cancel: &CancelJob{JobID: id}})
+	return c.CancelContext(context.Background(), id)
+}
+
+// CancelContext is Cancel bounded by a caller context.
+func (c *Client) CancelContext(ctx context.Context, id int64) error {
+	_, err := c.call(ctx, Body{Cancel: &CancelJob{JobID: id}})
 	return err
 }
 
 // Stat queries daemon state through the middleware.
 func (c *Client) Stat() (queued, running, free int, err error) {
-	r, err := c.call(Body{Status: &JobStatus{}})
+	return c.StatContext(context.Background())
+}
+
+// StatContext is Stat bounded by a caller context.
+func (c *Client) StatContext(ctx context.Context) (queued, running, free int, err error) {
+	r, err := c.call(ctx, Body{Status: &JobStatus{}})
 	if err != nil {
 		return 0, 0, 0, err
 	}

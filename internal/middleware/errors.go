@@ -1,0 +1,88 @@
+// Typed client-side errors: each failure class a caller can act on —
+// retry, back off, or give up — is its own type, so callers branch
+// with errors.As / errors.Is instead of matching message strings.
+
+package middleware
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// ErrBusy reports that the service shed the request under load (HTTP
+// 503). The request was NOT enqueued; back off and retry.
+// errors.Is(err, ErrBusy) also matches the *StatusError carrying a
+// 503.
+var ErrBusy = errors.New("middleware: service busy")
+
+// TransportError wraps a failure of the HTTP exchange itself: dialing
+// (connection refused), a dropped connection, or a timeout. The
+// request may or may not have reached the service — retrying is safe
+// because submits are deduplicated by message ID.
+type TransportError struct {
+	Op  string // "post" or "read response"
+	Err error
+}
+
+func (e *TransportError) Error() string { return fmt.Sprintf("middleware: %s: %v", e.Op, e.Err) }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// Timeout reports whether the transport failure was a timeout (per-
+// attempt deadline or context deadline) rather than e.g. a refused
+// connection.
+func (e *TransportError) Timeout() bool {
+	var ne net.Error
+	if errors.As(e.Err, &ne) && ne.Timeout() {
+		return true
+	}
+	return errors.Is(e.Err, context.DeadlineExceeded)
+}
+
+// StatusError reports a non-200 HTTP response. A 503 additionally
+// matches ErrBusy via errors.Is.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("middleware: HTTP %d: %s", e.Code, e.Body)
+}
+
+// Is makes errors.Is(err, ErrBusy) true for 503 responses.
+func (e *StatusError) Is(target error) bool {
+	return target == ErrBusy && e.Code == 503
+}
+
+// DecodeError reports a 200 response whose body was not a valid
+// Response document — a broken or mismatched server, not worth
+// retrying.
+type DecodeError struct {
+	Err error
+}
+
+func (e *DecodeError) Error() string { return fmt.Sprintf("middleware: decode response: %v", e.Err) }
+func (e *DecodeError) Unwrap() error { return e.Err }
+
+// ServiceError reports a well-formed Fault from the service: it
+// processed the request and rejected it. Deterministic — never
+// retried.
+type ServiceError struct {
+	Reason string
+}
+
+func (e *ServiceError) Error() string { return "middleware: service error: " + e.Reason }
+
+// retryable reports whether a call error is worth retrying: transport
+// failures (the exchange may simply have been unlucky) and explicit
+// busy shedding (the service asked for a backoff). Service faults and
+// malformed responses are deterministic and final.
+func retryable(err error) bool {
+	var te *TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	return errors.Is(err, ErrBusy)
+}

@@ -1,0 +1,336 @@
+// Tests for the hardened client: typed error paths, jittered
+// exponential backoff under a fake clock, idempotent retried submits
+// through a fault-injecting proxy, and BUSY load shedding.
+
+package middleware
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redreq/internal/fault"
+	"redreq/internal/obs"
+	"redreq/internal/pbsd"
+)
+
+// Typed error taxonomy: each failure class must surface as its own
+// type, checked with errors.As/Is — no string matching.
+
+func TestTypedErrorServiceFault(t *testing.T) {
+	ep, _ := newTestEndpoint(t, false, false)
+	c := NewClient(ep.URL, "typed")
+	_, err := c.Submit("too-big", 64, time.Hour) // pool has 16 nodes
+	var se *ServiceError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T %v, want *ServiceError", err, err)
+	}
+	if se.Reason == "" {
+		t.Fatal("ServiceError carries no reason")
+	}
+	if retryable(err) {
+		t.Fatal("service faults must not be retryable")
+	}
+}
+
+func TestTypedErrorMalformedXML(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, "this is not xml <<<")
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, "typed")
+	_, err := c.Submit("j", 1, time.Hour)
+	var de *DecodeError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T %v, want *DecodeError", err, err)
+	}
+	if retryable(err) {
+		t.Fatal("a malformed response is deterministic; retrying is futile")
+	}
+}
+
+func TestTypedErrorConnectionRefused(t *testing.T) {
+	// Grab a port and close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	c := NewClient("http://"+addr, "typed")
+	_, err = c.Submit("j", 1, time.Hour)
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want *TransportError", err, err)
+	}
+	if te.Timeout() {
+		t.Fatal("connection refused misreported as a timeout")
+	}
+	if !retryable(err) {
+		t.Fatal("transport errors must be retryable")
+	}
+}
+
+func TestTypedErrorTimeout(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block) // LIFO: unblock the handler before srv.Close waits on it
+	c := NewClientOptions(srv.URL, "typed", ClientOptions{Timeout: 50 * time.Millisecond})
+	_, err := c.Submit("j", 1, time.Hour)
+	var te *TransportError
+	if !errors.As(err, &te) {
+		t.Fatalf("err = %T %v, want *TransportError", err, err)
+	}
+	if !te.Timeout() {
+		t.Fatalf("Timeout() = false for %v", te)
+	}
+}
+
+func TestTypedErrorBusy(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "BUSY", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c := NewClient(srv.URL, "typed")
+	_, err := c.Submit("j", 1, time.Hour)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("errors.Is(err, ErrBusy) = false for %T %v", err, err)
+	}
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 503 {
+		t.Fatalf("err = %T %v, want *StatusError{503}", err, err)
+	}
+	if !retryable(err) {
+		t.Fatal("BUSY must be retryable")
+	}
+}
+
+// Backoff timing under a fake clock: the sleeps must follow the
+// jittered exponential schedule, with no real waiting.
+func TestBackoffScheduleFakeClock(t *testing.T) {
+	var attempts atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		attempts.Add(1)
+		http.Error(w, "BUSY", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	tr := obs.New()
+	c := NewClientOptions(srv.URL, "backoff", ClientOptions{
+		Retries:   3,
+		RetryBase: 100 * time.Millisecond,
+		RetryMax:  5 * time.Second,
+		Jitter:    func() float64 { return 1 }, // upper edge: full exponential value
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+		Trace:     tr,
+	})
+	_, err := c.Submit("j", 1, time.Hour)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("final error = %v, want BUSY", err)
+	}
+	if got := attempts.Load(); got != 4 {
+		t.Fatalf("attempts = %d, want 4 (1 + 3 retries)", got)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v (full schedule %v)", i, slept[i], want[i], slept)
+		}
+	}
+	snap := tr.Snapshot()
+	if got := snap.Counter("gram.client.retries"); got != 3 {
+		t.Fatalf("gram.client.retries = %d, want 3", got)
+	}
+	if got := snap.Counter("gram.client.busy"); got != 4 {
+		t.Fatalf("gram.client.busy = %d, want 4", got)
+	}
+}
+
+// The jitter must spread sleeps over [d/2, d): with jitter 0 the
+// backoff halves, and the cap clamps growth.
+func TestBackoffJitterLowerEdgeAndCap(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "BUSY", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	var slept []time.Duration
+	c := NewClientOptions(srv.URL, "backoff", ClientOptions{
+		Retries:   5,
+		RetryBase: 1 * time.Second,
+		RetryMax:  2 * time.Second,
+		Jitter:    func() float64 { return 0 },
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+	})
+	c.Submit("j", 1, time.Hour)
+	// Raw schedule 1s,2s,2s,2s,2s (capped), halved by zero jitter.
+	want := []time.Duration{500 * time.Millisecond, time.Second, time.Second, time.Second, time.Second}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("sleep %d = %v, want %v", i, slept[i], want[i])
+		}
+	}
+}
+
+// A timeout increments the timeout counter and is retried.
+func TestTimeoutCountedAndRetried(t *testing.T) {
+	var calls atomic.Int32
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-block // first attempt times out
+			return
+		}
+		w.Header().Set("Content-Type", "text/xml")
+		fmt.Fprint(w, `<Response><OK>true</OK><JobID>7</JobID></Response>`)
+	}))
+	defer srv.Close()
+	defer close(block) // LIFO: unblock the handler before srv.Close waits on it
+	tr := obs.New()
+	c := NewClientOptions(srv.URL, "to", ClientOptions{
+		Timeout: 100 * time.Millisecond,
+		Retries: 1,
+		Sleep:   func(time.Duration) {},
+		Trace:   tr,
+	})
+	id, err := c.Submit("j", 1, time.Hour)
+	if err != nil || id != 7 {
+		t.Fatalf("Submit = %d, %v", id, err)
+	}
+	snap := tr.Snapshot()
+	if got := snap.Counter("gram.client.timeouts"); got != 1 {
+		t.Fatalf("gram.client.timeouts = %d, want 1", got)
+	}
+	if got := snap.Counter("gram.client.retries"); got != 1 {
+		t.Fatalf("gram.client.retries = %d, want 1", got)
+	}
+}
+
+// The headline robustness property: a submit whose response is lost
+// in flight is retried and must NOT double-enqueue — the service
+// recognizes the message ID and replays the original response.
+func TestRetriedSubmitDoesNotDoubleEnqueue(t *testing.T) {
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	tr := obs.New()
+	svc, err := NewService(ServiceConfig{Backend: backend, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Start(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	// First connection: request reaches the service, response is
+	// dropped. Every later connection forwards cleanly.
+	proxy := &fault.Proxy{
+		Backend: ep.URL[len("http://"):],
+		Decide: func(n int) fault.Verdict {
+			if n == 0 {
+				return fault.DropResponse
+			}
+			return fault.Forward
+		},
+	}
+	addr, err := proxy.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	c := NewClientOptions("http://"+addr, "dedup", ClientOptions{
+		Retries: 2,
+		Sleep:   func(time.Duration) {},
+	})
+	id, err := c.Submit("exactly-once", 2, time.Hour)
+	if err != nil {
+		t.Fatalf("submit through lossy proxy: %v", err)
+	}
+	if id == 0 {
+		t.Fatal("no job ID")
+	}
+	if q, _, _ := backend.Stat(); q != 1 {
+		t.Fatalf("backend queue = %d after retried submit, want exactly 1", q)
+	}
+	if got := tr.Snapshot().Counter("gram.idem_hits"); got != 1 {
+		t.Fatalf("gram.idem_hits = %d, want 1", got)
+	}
+	if proxy.Connections() < 2 {
+		t.Fatalf("proxy saw %d connections, want >= 2 (original + retry)", proxy.Connections())
+	}
+	// The deduplicated job is real: cancel it through the same path.
+	if err := c.Cancel(id); err != nil {
+		t.Fatalf("cancel of deduplicated job: %v", err)
+	}
+	if q, _, _ := backend.Stat(); q != 0 {
+		t.Fatalf("backend queue = %d after cancel, want 0", q)
+	}
+}
+
+// End-to-end shedding: a backend at its queue cap makes the service
+// answer 503 BUSY; the client sees ErrBusy, nothing crashes, and the
+// shed is counted.
+func TestServiceShedsWhenBackendBusy(t *testing.T) {
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backend.Close()
+	tr := obs.New()
+	svc, err := NewService(ServiceConfig{Backend: backend, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Start(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+
+	c := NewClient(ep.URL, "shed")
+	if _, err := c.Submit("first", 1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit("second", 1, time.Hour)
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("submit past the cap: err = %T %v, want ErrBusy", err, err)
+	}
+	// The endpoint survived: status still answers.
+	if q, _, _, err := c.Stat(); err != nil || q != 1 {
+		t.Fatalf("Stat after shed = %d, %v", q, err)
+	}
+	snap := tr.Snapshot()
+	if got := snap.Counter("gram.shed"); got != 1 {
+		t.Fatalf("gram.shed = %d, want 1", got)
+	}
+	if got := snap.Counter("gram.errors"); got != 0 {
+		t.Fatalf("gram.errors = %d, want 0 (shedding is not an error)", got)
+	}
+	// A blocked-then-retried submit eventually lands once capacity
+	// frees up.
+	if err := c.Cancel(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("third", 1, time.Hour); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}

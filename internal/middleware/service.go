@@ -12,6 +12,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -43,9 +44,16 @@ type ServiceConfig struct {
 	Backend *pbsd.Server
 	// Trace, when non-nil, collects wall-clock latency histograms per
 	// operation on the SOAP-envelope path (gram.latency.submit,
-	// gram.latency.cancel, gram.latency.status) and the gram.errors
-	// counter for failed transactions.
+	// gram.latency.cancel, gram.latency.status), the gram.errors
+	// counter for failed transactions, gram.shed for requests shed
+	// with 503 BUSY, and gram.idem_hits for deduplicated retries.
 	Trace *obs.Trace
+	// IdempotencyWindow bounds the replay cache of recent mutating
+	// transactions, keyed by (sender, message ID): a retried submit or
+	// cancel whose original attempt succeeded gets the original
+	// response replayed instead of double-enqueueing. 0 uses 4096
+	// entries; negative disables deduplication.
+	IdempotencyWindow int
 }
 
 // Service is the HTTP middleware service.
@@ -57,13 +65,21 @@ type Service struct {
 	mu       sync.Mutex
 	stateSeq int64
 
+	// Replay cache for idempotent mutating operations: responses by
+	// (sender, message ID), evicted FIFO at the configured window.
+	idemMu    sync.Mutex
+	idemCache map[string]*Response
+	idemOrder []string
+
 	key *rsa.PrivateKey
 
 	// Trace instruments (nil when tracing is off).
-	hSubmit *obs.Histogram
-	hCancel *obs.Histogram
-	hStatus *obs.Histogram
-	cErrors *obs.Counter
+	hSubmit  *obs.Histogram
+	hCancel  *obs.Histogram
+	hStatus  *obs.Histogram
+	cErrors  *obs.Counter
+	cShed    *obs.Counter
+	cIdemHit *obs.Counter
 }
 
 // NewService builds the service; the caller owns the backend's
@@ -88,11 +104,19 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		}
 		s.key = key
 	}
+	if cfg.IdempotencyWindow == 0 {
+		s.cfg.IdempotencyWindow = 4096
+	}
+	if s.cfg.IdempotencyWindow > 0 {
+		s.idemCache = make(map[string]*Response)
+	}
 	if tr := cfg.Trace; tr != nil {
 		s.hSubmit = tr.Histogram("gram.latency.submit")
 		s.hCancel = tr.Histogram("gram.latency.cancel")
 		s.hStatus = tr.Histogram("gram.latency.status")
 		s.cErrors = tr.Counter("gram.errors")
+		s.cShed = tr.Counter("gram.shed")
+		s.cIdemHit = tr.Counter("gram.idem_hits")
 	}
 	s.mux.HandleFunc("/gram", s.handleGRAM)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -125,7 +149,7 @@ func (s *Service) handleGRAM(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Trace != nil {
 		t0 = time.Now()
 	}
-	resp := s.execute(env)
+	resp, shed := s.execute(env)
 	if s.cfg.Trace != nil {
 		elapsed := time.Since(t0).Seconds()
 		switch {
@@ -136,18 +160,77 @@ func (s *Service) handleGRAM(w http.ResponseWriter, r *http.Request) {
 		case env.Body.Status != nil:
 			s.hStatus.Observe(elapsed)
 		}
-		if !resp.OK {
+		if shed {
+			s.cShed.Inc()
+		} else if !resp.OK {
 			s.cErrors.Inc()
 		}
+	}
+	if shed {
+		// Explicit load shedding: the request was NOT enqueued. 503
+		// tells the client to back off and retry, as opposed to a
+		// Fault, which is final.
+		http.Error(w, "BUSY", http.StatusServiceUnavailable)
+		s.txCount.Add(1)
+		return
 	}
 	s.reply(w, resp)
 	s.txCount.Add(1)
 }
 
-func (s *Service) execute(env *Envelope) *Response {
+// idemKey is the replay-cache key of a mutating transaction; empty
+// when the envelope is not deduplicable.
+func idemKey(env *Envelope) string {
+	if env.Header.MessageID == "" || env.Body.Status != nil {
+		return ""
+	}
+	return env.Header.Sender + "\x00" + env.Header.MessageID
+}
+
+// replay returns the cached response for a retried transaction, if
+// any.
+func (s *Service) replay(key string) (*Response, bool) {
+	if key == "" || s.idemCache == nil {
+		return nil, false
+	}
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	r, ok := s.idemCache[key]
+	return r, ok
+}
+
+// remember caches a definitive response for future retries of the
+// same message, evicting the oldest entry past the window.
+func (s *Service) remember(key string, resp *Response) {
+	if key == "" || s.idemCache == nil {
+		return
+	}
+	s.idemMu.Lock()
+	defer s.idemMu.Unlock()
+	if _, dup := s.idemCache[key]; dup {
+		return
+	}
+	s.idemCache[key] = resp
+	s.idemOrder = append(s.idemOrder, key)
+	if len(s.idemOrder) > s.cfg.IdempotencyWindow {
+		evict := s.idemOrder[0]
+		s.idemOrder = s.idemOrder[1:]
+		delete(s.idemCache, evict)
+	}
+}
+
+// execute runs one transaction. The second return is true when the
+// request was shed (backend at its queue cap): the caller answers 503
+// BUSY, and nothing is cached — a retry should re-attempt, not replay.
+func (s *Service) execute(env *Envelope) (*Response, bool) {
+	key := idemKey(env)
+	if cached, ok := s.replay(key); ok {
+		s.cIdemHit.Inc()
+		return cached, false
+	}
 	if s.cfg.Security {
 		if err := s.authorize(env); err != nil {
-			return &Response{OK: false, Error: err.Error()}
+			return &Response{OK: false, Error: err.Error()}, false
 		}
 	}
 	switch {
@@ -155,30 +238,37 @@ func (s *Service) execute(env *Envelope) *Response {
 		op := env.Body.Submit
 		if s.cfg.Durable {
 			if err := s.persist("submit", env); err != nil {
-				return &Response{OK: false, Error: err.Error()}
+				return &Response{OK: false, Error: err.Error()}, false
 			}
 		}
 		id, err := s.cfg.Backend.Submit(op.Name, op.Nodes,
 			time.Duration(op.Walltime*float64(time.Second)))
-		if err != nil {
-			return &Response{OK: false, Error: err.Error()}
+		if errors.Is(err, pbsd.ErrBusy) {
+			return &Response{OK: false, Error: err.Error()}, true
 		}
-		return &Response{OK: true, JobID: id}
+		resp := &Response{OK: true, JobID: id}
+		if err != nil {
+			resp = &Response{OK: false, Error: err.Error()}
+		}
+		s.remember(key, resp)
+		return resp, false
 	case env.Body.Cancel != nil:
 		if s.cfg.Durable {
 			if err := s.persist("cancel", env); err != nil {
-				return &Response{OK: false, Error: err.Error()}
+				return &Response{OK: false, Error: err.Error()}, false
 			}
 		}
+		resp := &Response{OK: true}
 		if err := s.cfg.Backend.Delete(env.Body.Cancel.JobID); err != nil {
-			return &Response{OK: false, Error: err.Error()}
+			resp = &Response{OK: false, Error: err.Error()}
 		}
-		return &Response{OK: true}
+		s.remember(key, resp)
+		return resp, false
 	case env.Body.Status != nil:
 		q, run, free := s.cfg.Backend.Stat()
-		return &Response{OK: true, Queued: q, Running: run, Free: free}
+		return &Response{OK: true, Queued: q, Running: run, Free: free}, false
 	default:
-		return &Response{OK: false, Error: "no operation"}
+		return &Response{OK: false, Error: "no operation"}, false
 	}
 }
 

@@ -1,0 +1,175 @@
+// Tests for graceful degradation: queue-cap shedding with BUSY
+// responses and the draining Listener.Close.
+
+package pbsd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"redreq/internal/obs"
+)
+
+func TestQueueCapShedsDirect(t *testing.T) {
+	tr := obs.New()
+	srv, err := New(Config{Nodes: 16, MaxQueue: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		if _, err := srv.Submit("j", 1, time.Hour); err != nil {
+			t.Fatalf("submit %d under the cap: %v", i, err)
+		}
+	}
+	if _, err := srv.Submit("j", 1, time.Hour); !errors.Is(err, ErrBusy) {
+		t.Fatalf("submit over the cap: err = %v, want ErrBusy", err)
+	}
+	// Shedding must not corrupt the queue: deleting a job frees a slot.
+	if _, err := srv.DeleteHead(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit("j", 1, time.Hour); err != nil {
+		t.Fatalf("submit after freeing a slot: %v", err)
+	}
+	if got := tr.Snapshot().Counter("pbsd.shed"); got != 1 {
+		t.Fatalf("pbsd.shed = %d, want 1", got)
+	}
+}
+
+func TestQueueCapShedsOverTheWire(t *testing.T) {
+	srv, err := New(Config{Nodes: 16, MaxQueue: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { ln.Close(); srv.Close() }()
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Submit("first", 1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("second", 1, time.Hour); !errors.Is(err, ErrBusy) {
+		t.Fatalf("wire submit over the cap: err = %v, want ErrBusy", err)
+	}
+	// The connection survives a BUSY — the daemon shed the request, it
+	// did not crash or drop the session.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after BUSY: %v", err)
+	}
+	if q, _, _, err := c.Stat(); err != nil || q != 1 {
+		t.Fatalf("queue after shed = %d (%v), want 1", q, err)
+	}
+}
+
+// Close must wait for in-flight commands: their responses are written
+// before the connection goes down. Run with -race: this hammers the
+// listener from many goroutines while Close races against dispatch.
+func TestCloseDrainsInflight(t *testing.T) {
+	srv, err := New(Config{Nodes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var (
+		wg       sync.WaitGroup
+		started  sync.WaitGroup
+		torn     atomic.Int64 // conversations cut mid-flight (expected during close)
+		answered atomic.Int64 // completed round trips
+	)
+	started.Add(workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Dial(ln.Addr())
+			if err != nil {
+				started.Done()
+				return
+			}
+			defer c.Close()
+			started.Done()
+			for i := 0; ; i++ {
+				if _, err := c.Submit(fmt.Sprintf("w%d-%d", w, i), 1, time.Hour); err != nil {
+					// The listener is closing: the conversation ends,
+					// but it must end cleanly, not hang.
+					torn.Add(1)
+					return
+				}
+				answered.Add(1)
+			}
+		}(w)
+	}
+	started.Wait()
+	// Let traffic flow, then close mid-stream.
+	for answered.Load() < 50 {
+		time.Sleep(time.Millisecond)
+	}
+	closed := make(chan error, 1)
+	go func() { closed <- ln.Close() }()
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(drainGrace + 2*time.Second):
+		t.Fatal("Close did not return within the drain grace period")
+	}
+	wg.Wait()
+	if answered.Load() == 0 {
+		t.Fatal("no round trips completed before close")
+	}
+}
+
+// An idle connection parked in a read must be released by Close
+// without receiving a spurious protocol-error diagnostic, and the
+// error counters must stay clean.
+func TestCloseReleasesIdleConn(t *testing.T) {
+	tr := obs.New()
+	srv, err := New(Config{Nodes: 4, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The next round trip fails — but with a clean connection close,
+	// not an "ERR read:" diagnostic provoked by the drain deadline.
+	if _, err := c.roundTrip("PING"); err == nil {
+		t.Fatal("round trip succeeded after Close")
+	} else if s := err.Error(); len(s) >= 8 && s[:8] == "pbsd: re" {
+		t.Fatalf("drain surfaced as a protocol diagnostic: %v", err)
+	}
+	if got := tr.Snapshot().Counter("pbsd.errors"); got != 0 {
+		t.Fatalf("pbsd.errors = %d after clean drain, want 0", got)
+	}
+}

@@ -51,18 +51,52 @@ func Serve(srv *Server, addr string) (*Listener, error) {
 // Addr returns the listener's address.
 func (l *Listener) Addr() string { return l.ln.Addr().String() }
 
-// Close stops accepting, closes active connections, and waits for
-// handlers to finish.
+// drainGrace bounds how long Close waits for in-flight commands to
+// finish before force-closing their connections.
+const drainGrace = 5 * time.Second
+
+// Close stops accepting and drains in-flight connections: handlers
+// blocked reading the next command are nudged out with an immediate
+// read deadline, while a command already being executed finishes and
+// its response is written before the connection closes. Handlers that
+// still have not finished after a grace period are force-closed so
+// Close cannot hang on a wedged peer.
 func (l *Listener) Close() error {
 	l.mu.Lock()
 	l.closed = true
 	for c := range l.conns {
-		c.Close()
+		// Expire the pending (or next) read instead of closing: the
+		// scanner loop exits at the next read, after any in-flight
+		// response has been flushed.
+		c.SetReadDeadline(time.Now())
 	}
 	l.mu.Unlock()
 	err := l.ln.Close()
-	l.wg.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		l.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(drainGrace):
+		l.mu.Lock()
+		for c := range l.conns {
+			c.Close()
+		}
+		l.mu.Unlock()
+		<-done
+	}
 	return err
+}
+
+// closing reports whether Close has begun; handlers use it to treat
+// drain-induced read errors as a normal shutdown.
+func (l *Listener) closing() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
 }
 
 func (l *Listener) acceptLoop() {
@@ -93,17 +127,31 @@ func (l *Listener) handle(conn net.Conn) {
 		l.mu.Unlock()
 		conn.Close()
 	}()
+	writeTimeout := l.srv.cfg.WriteTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = 10 * time.Second
+	}
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 0, 4096), 64*1024)
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
 		resp := l.dispatch(sc.Text())
+		// Per-request write deadline: a client that stops reading its
+		// responses cannot pin this handler goroutine forever.
+		conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 		if _, err := w.WriteString(resp + "\n"); err != nil {
 			return
 		}
 		if err := w.Flush(); err != nil {
 			return
 		}
+		conn.SetWriteDeadline(time.Time{})
+	}
+	// A drain-induced read deadline during Close is a normal shutdown,
+	// not a protocol error: the in-flight response (if any) has been
+	// flushed, so just drop the connection.
+	if l.closing() {
+		return
 	}
 	// A scan failure other than EOF (an oversized or malformed line)
 	// used to close the connection silently; diagnose it to the client
@@ -162,6 +210,12 @@ func (l *Listener) serveCommand(line string) string {
 			return "ERR bad walltime"
 		}
 		id, err := l.srv.Submit(strings.Join(fields[3:], " "), nodes, time.Duration(secs*float64(time.Second)))
+		if errors.Is(err, ErrBusy) {
+			// Graceful shedding is its own response shape, not an ERR:
+			// the client should back off and retry, and the protocol
+			// error counters stay clean.
+			return "BUSY"
+		}
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -228,6 +282,9 @@ func (c *Client) roundTrip(cmd string) (string, error) {
 		return "", fmt.Errorf("pbsd: connection closed")
 	}
 	resp := c.r.Text()
+	if resp == "BUSY" {
+		return "", ErrBusy
+	}
 	if strings.HasPrefix(resp, "ERR") {
 		return "", fmt.Errorf("pbsd: %s", strings.TrimSpace(strings.TrimPrefix(resp, "ERR")))
 	}

@@ -82,6 +82,15 @@ type Config struct {
 	// disk (PBS keeps job files under its spool); adds realistic I/O
 	// to every submission.
 	JournalDir string
+	// MaxQueue caps the pending-queue length; submissions past the
+	// cap are shed with ErrBusy (a BUSY response on the wire) instead
+	// of growing the queue — and the per-operation scheduling cost —
+	// without bound. 0 means unlimited.
+	MaxQueue int
+	// WriteTimeout bounds each response write on the TCP path so one
+	// stalled client cannot pin a handler goroutine forever; 0 uses
+	// a 10 s default.
+	WriteTimeout time.Duration
 	// Trace, when non-nil, collects wall-clock per-command latency
 	// histograms (pbsd.latency.<cmd>) and protocol error counters
 	// (pbsd.errors, pbsd.errors.line_too_long) on the TCP path.
@@ -113,6 +122,7 @@ type Server struct {
 	hLatency     map[string]*obs.Histogram
 	cProtoErrors *obs.Counter
 	cLineTooLong *obs.Counter
+	cShed        *obs.Counter
 }
 
 // ErrUnknownJob is returned by Delete for nonexistent or finished jobs.
@@ -120,6 +130,11 @@ var ErrUnknownJob = errors.New("pbsd: unknown job")
 
 // ErrTooLarge is returned when a job requests more nodes than exist.
 var ErrTooLarge = errors.New("pbsd: request exceeds node pool")
+
+// ErrBusy is returned by Submit when the pending queue is at its
+// configured cap: the daemon sheds the request instead of degrading.
+// Callers should back off and retry.
+var ErrBusy = errors.New("pbsd: queue full")
 
 // New creates a daemon with the given configuration.
 func New(cfg Config) (*Server, error) {
@@ -150,6 +165,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.cProtoErrors = tr.Counter("pbsd.errors")
 		s.cLineTooLong = tr.Counter("pbsd.errors.line_too_long")
+		s.cShed = tr.Counter("pbsd.shed")
 	}
 	return s, nil
 }
@@ -167,6 +183,10 @@ func (s *Server) Submit(name string, nodes int, walltime time.Duration) (int64, 
 	}
 	if nodes > s.cfg.Nodes {
 		return 0, ErrTooLarge
+	}
+	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
+		s.cShed.Inc()
+		return 0, ErrBusy
 	}
 	s.nextID++
 	j := &Job{
