@@ -33,9 +33,11 @@ check:
 
 # bench runs the core simulator benchmarks and appends the numbers to
 # BENCH_core.json (jobs/s from BenchmarkSimulationCore, ns/op and
-# allocs/op from BenchmarkEngine). See README "Performance".
+# allocs/op from BenchmarkEngine, whole-registry wall-clock from
+# BenchmarkRegistryQuick), then prints the delta against the previous
+# entry. See README "Performance".
 bench:
-	$(GO) test -run=NONE -bench='SimulationCore$$|Engine' -benchmem . \
+	$(GO) test -run=NONE -bench='SimulationCore$$|Engine|RegistryQuick$$' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_core.json
 
 # bench-all runs every benchmark (per-table/figure experiment drivers,

@@ -79,6 +79,32 @@ func BenchmarkExperiment(b *testing.B) {
 	}
 }
 
+// BenchmarkRegistryQuick measures one full-registry pass at the quick
+// scale (experiment.Quick: 3 reps, 1-hour window, full default sweep
+// axes) — the same work as `redsim -run all -reps 3 -horizon 3600`.
+// sec4 is excluded as always (it measures wall clock itself). This is
+// the wall-clock number `make bench` records into BENCH_core.json for
+// cross-PR comparison of the whole pipeline, complementing the
+// per-simulation numbers of BenchmarkSimulationCore/BenchmarkEngine.
+// Each iteration starts a fresh memo cache, exactly like one redsim
+// process: intra-pass reuse counts, cross-iteration reuse must not.
+func BenchmarkRegistryQuick(b *testing.B) {
+	var specs []*experiment.Spec
+	for _, s := range experiment.All() {
+		if s.Name != "sec4" {
+			specs = append(specs, s)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		opts := experiment.Quick()
+		opts.Cache = core.NewMemo()
+		err := experiment.Reports(specs, opts, func(int, *report.Report, time.Duration) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkFigure5(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		results, err := pbsd.Sweep([]int{0, 5000, 10000}, 2, 300*time.Millisecond, true)

@@ -2,12 +2,15 @@
 // benchmark trajectory. It reads benchmark output on stdin, echoes it
 // unchanged to stdout (so it can sit at the end of a pipe without
 // hiding results), and appends one labeled entry to a JSON history
-// file. The history seeds regression comparisons: future PRs diff
-// their numbers against the recorded ones instead of against memory.
+// file. The history seeds regression comparisons: after appending,
+// benchjson prints the per-metric percentage change between the last
+// two entries, so a perf PR's `make bench` ends with its own delta
+// summary instead of two walls of numbers to eyeball.
 //
 // Usage:
 //
 //	go test -run=NONE -bench='SimulationCore|Engine' -benchmem . | benchjson -label after -out BENCH_core.json
+//	benchjson -check BENCH_core.json   # validate a history file (CI)
 package main
 
 import (
@@ -15,7 +18,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -46,16 +51,35 @@ type History struct {
 }
 
 func main() {
-	label := flag.String("label", "dev", "label recorded with this entry (e.g. baseline, pr2)")
-	out := flag.String("out", "BENCH_core.json", "benchmark history file to append to")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point.
+func run(argv []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	label := fs.String("label", "dev", "label recorded with this entry (e.g. baseline, pr2)")
+	out := fs.String("out", "BENCH_core.json", "benchmark history file to append to")
+	check := fs.String("check", "", "validate this history file and exit without reading stdin")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+
+	if *check != "" {
+		if err := checkHistory(*check); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "benchjson: %s is a valid history file\n", *check)
+		return 0
+	}
 
 	entry := Entry{Label: *label}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
-		fmt.Println(line)
+		fmt.Fprintln(stdout, line)
 		switch {
 		case strings.HasPrefix(line, "goos:"):
 			entry.GOOS = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
@@ -72,37 +96,105 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: read: %v\n", err)
+		return 1
 	}
 	if len(entry.Benchmarks) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin; history not updated")
-		os.Exit(1)
+		fmt.Fprintln(stderr, "benchjson: no benchmark lines on stdin; history not updated")
+		return 1
 	}
 
 	var hist History
 	if raw, err := os.ReadFile(*out); err == nil {
 		if err := json.Unmarshal(raw, &hist); err != nil {
-			fmt.Fprintf(os.Stderr, "benchjson: %s exists but is not a history file: %v\n", *out, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "benchjson: %s exists but is not a history file: %v\n", *out, err)
+			return 1
 		}
 	} else if !os.IsNotExist(err) {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 	hist.Entries = append(hist.Entries, entry)
 
 	enc, err := json.MarshalIndent(&hist, "", "  ")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
 	if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "benchjson: recorded %d benchmarks as %q in %s (%d entries)\n",
+	fmt.Fprintf(stderr, "benchjson: recorded %d benchmarks as %q in %s (%d entries)\n",
 		len(entry.Benchmarks), *label, *out, len(hist.Entries))
+	if n := len(hist.Entries); n >= 2 {
+		printDelta(stderr, hist.Entries[n-2], hist.Entries[n-1])
+	}
+	return 0
+}
+
+// checkHistory validates that path parses as a history file whose
+// entries all carry a label and at least one benchmark with metrics —
+// the invariant CI enforces so a botched merge or hand edit of the
+// recorded trajectory fails loudly.
+func checkHistory(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var hist History
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		return fmt.Errorf("%s: invalid JSON: %v", path, err)
+	}
+	if len(hist.Entries) == 0 {
+		return fmt.Errorf("%s: history has no entries", path)
+	}
+	for i, e := range hist.Entries {
+		if e.Label == "" {
+			return fmt.Errorf("%s: entry %d has no label", path, i)
+		}
+		if len(e.Benchmarks) == 0 {
+			return fmt.Errorf("%s: entry %q has no benchmarks", path, e.Label)
+		}
+		for _, b := range e.Benchmarks {
+			if b.Name == "" || len(b.Metrics) == 0 {
+				return fmt.Errorf("%s: entry %q has a benchmark without name or metrics", path, e.Label)
+			}
+		}
+	}
+	return nil
+}
+
+// printDelta prints the percentage change per (benchmark, metric)
+// between two entries, matched by benchmark name; benchmarks present
+// in only one entry are skipped.
+func printDelta(w io.Writer, prev, cur Entry) {
+	old := make(map[string]map[string]float64, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		old[b.Name] = b.Metrics
+	}
+	fmt.Fprintf(w, "benchjson: delta %q -> %q:\n", prev.Label, cur.Label)
+	for _, b := range cur.Benchmarks {
+		before, ok := old[b.Name]
+		if !ok {
+			continue
+		}
+		units := make([]string, 0, len(b.Metrics))
+		for u := range b.Metrics {
+			if _, ok := before[u]; ok {
+				units = append(units, u)
+			}
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			was, now := before[u], b.Metrics[u]
+			if was == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  %-40s %-10s %14.4g -> %14.4g  %+.1f%%\n",
+				b.Name, u, was, now, 100*(now-was)/was)
+		}
+	}
 }
 
 // parseBench parses one benchmark result line:

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: redreq
+cpu: test
+BenchmarkSimulationCore-8   	      10	 100000000 ns/op	        52341 jobs/s
+BenchmarkEngine/trace=off-8 	       5	 200000000 ns/op
+PASS
+`
+
+func record(t *testing.T, file, label, input string) (stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run([]string{"-label", label, "-out", file}, strings.NewReader(input), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+func TestRecordAndDelta(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "hist.json")
+
+	stdout, stderr := record(t, file, "before", benchOutput)
+	if stdout != benchOutput {
+		t.Errorf("stdin not echoed verbatim:\n%s", stdout)
+	}
+	if strings.Contains(stderr, "delta") {
+		t.Errorf("first entry printed a delta:\n%s", stderr)
+	}
+
+	// Second entry: SimulationCore halves its time and doubles jobs/s.
+	faster := strings.NewReplacer(
+		"100000000 ns/op", "50000000 ns/op",
+		"52341 jobs/s", "104682 jobs/s",
+	).Replace(benchOutput)
+	_, stderr = record(t, file, "after", faster)
+	if !strings.Contains(stderr, `delta "before" -> "after"`) {
+		t.Fatalf("no delta summary:\n%s", stderr)
+	}
+	for _, want := range []string{"-50.0%", "+100.0%", "+0.0%"} {
+		if !strings.Contains(stderr, want) {
+			t.Errorf("delta missing %q:\n%s", want, stderr)
+		}
+	}
+
+	var hist History
+	raw, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Entries) != 2 || hist.Entries[0].Label != "before" || hist.Entries[1].Label != "after" {
+		t.Fatalf("history entries: %+v", hist.Entries)
+	}
+	if n := len(hist.Entries[0].Benchmarks); n != 2 {
+		t.Errorf("entry recorded %d benchmarks, want 2", n)
+	}
+	if v := hist.Entries[1].Benchmarks[0].Metrics["jobs/s"]; v != 104682 {
+		t.Errorf("jobs/s = %v, want 104682", v)
+	}
+}
+
+func TestCheckMode(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	record(t, good, "base", benchOutput)
+
+	var out, errb bytes.Buffer
+	if code := run([]string{"-check", good}, nil, &out, &errb); code != 0 {
+		t.Errorf("valid file: exit %d, stderr:\n%s", code, errb.String())
+	}
+
+	bad := map[string]string{
+		"garbage.json": "not json at all",
+		"empty.json":   `{"entries": []}`,
+		"nolabel.json": `{"entries": [{"benchmarks": [{"name": "X", "metrics": {"ns/op": 1}}]}]}`,
+		"nobench.json": `{"entries": [{"label": "x"}]}`,
+	}
+	for name, content := range bad {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		errb.Reset()
+		if code := run([]string{"-check", path}, nil, &out, &errb); code != 1 {
+			t.Errorf("%s: exit %d, want 1 (stderr: %s)", name, code, errb.String())
+		}
+	}
+
+	errb.Reset()
+	if code := run([]string{"-check", filepath.Join(dir, "missing.json")}, nil, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+}
+
+func TestNoBenchmarksOnStdin(t *testing.T) {
+	var out, errb bytes.Buffer
+	file := filepath.Join(t.TempDir(), "hist.json")
+	code := run([]string{"-out", file}, strings.NewReader("PASS\nok\n"), &out, &errb)
+	if code != 1 {
+		t.Errorf("exit %d, want 1", code)
+	}
+	if _, err := os.Stat(file); !os.IsNotExist(err) {
+		t.Error("history file written despite empty input")
+	}
+}

@@ -16,6 +16,11 @@
 // timing go to stderr. Exit status: 0 on success, 1 on runtime
 // failure, 2 on usage errors.
 //
+// Experiments share one bounded worker pool and a memoization layer
+// (identical simulation configs run once per process, paired-seed job
+// streams are generated once and shared); output is byte-identical
+// either way, and -cache=off disables the memo for A/B checks.
+//
 // Observability: -trace FILE aggregates run internals (DES event
 // counters, per-cluster queue-depth series, redundant submit/cancel
 // lifecycle, daemon/middleware latency histograms) across every
@@ -36,6 +41,7 @@ import (
 	"strings"
 	"time"
 
+	"redreq/internal/core"
 	"redreq/internal/experiment"
 	"redreq/internal/obs"
 	"redreq/internal/report"
@@ -64,6 +70,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		minRt    = fs.Float64("minrt", 30, "runtime floor in seconds")
 		maxRt    = fs.Float64("maxrt", 36*3600, "runtime cap in seconds")
 		seed     = fs.Uint64("seed", 20060619, "base seed")
+		cache    = fs.String("cache", "on", "memoize identical simulation runs and job streams across experiments: on|off")
 		quiet    = fs.Bool("q", false, "suppress progress and timing output")
 		traceTo  = fs.String("trace", "", "write an aggregate trace report to this file (.json/.csv by extension, tables otherwise; \"-\" for stdout)")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -94,6 +101,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	case "table", "csv", "json":
 	default:
 		fmt.Fprintf(stderr, "redsim: unknown format %q (want table, csv, or json)\n", *format)
+		return 2
+	}
+	switch *cache {
+	case "on", "off":
+	default:
+		fmt.Fprintf(stderr, "redsim: unknown cache mode %q (want on or off)\n", *cache)
 		return 2
 	}
 
@@ -135,6 +148,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	opts.MinRuntime = *minRt
 	opts.MaxRuntime = *maxRt
 	opts.BaseSeed = *seed
+	if *cache == "on" {
+		opts.Cache = core.NewMemo()
+	}
 	if *traceTo != "" {
 		opts.Trace = obs.New()
 	}
@@ -154,34 +170,29 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// Experiments run concurrently over one shared worker pool;
+	// reports are emitted in registry order as each becomes ready, so
+	// stdout stays byte-identical to the old sequential loop.
 	var jsonReports []*report.Report
-	for _, s := range specs {
-		t0 := time.Now()
-		rep, err := s.Report(opts)
-		if err != nil {
-			fmt.Fprintf(stderr, "redsim: %s: %v\n", s.Name, err)
-			return 1
-		}
+	err = experiment.Reports(specs, opts, func(i int, rep *report.Report, elapsed time.Duration) error {
 		if !*quiet {
-			fmt.Fprintf(stderr, "(%s: %s, %d reps)\n", s.Name, time.Since(t0).Round(time.Second), opts.Reps)
+			fmt.Fprintf(stderr, "(%s: %s, %d reps)\n", specs[i].Name, elapsed.Round(time.Second), opts.Reps)
 		}
 		switch {
 		case *outDir != "":
-			if err := writeReportFile(*outDir, *format, rep); err != nil {
-				fmt.Fprintf(stderr, "redsim: %s: %v\n", s.Name, err)
-				return 1
-			}
+			return writeReportFile(*outDir, *format, rep)
 		case *format == "table":
-			err = rep.Render(stdout)
+			return rep.Render(stdout)
 		case *format == "csv":
-			err = rep.WriteCSV(stdout)
+			return rep.WriteCSV(stdout)
 		default: // json: a single array once every experiment has run
 			jsonReports = append(jsonReports, rep)
+			return nil
 		}
-		if err != nil {
-			fmt.Fprintf(stderr, "redsim: %s: %v\n", s.Name, err)
-			return 1
-		}
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "redsim: %v\n", err)
+		return 1
 	}
 	if *outDir == "" && *format == "json" {
 		if err := report.WriteJSON(stdout, jsonReports...); err != nil {
@@ -189,6 +200,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 	}
+	if !*quiet && opts.Cache != nil {
+		st := opts.Cache.Stats()
+		fmt.Fprintf(stderr, "cache: results %d hit / %d miss / %d inflight, streams %d hit / %d miss\n",
+			st.Hit, st.Miss, st.Inflight, st.StreamHit, st.StreamMiss)
+	}
+	opts.Cache.Publish(opts.Trace)
 
 	if *traceTo != "" {
 		if err := writeTrace(*traceTo, opts.Trace); err != nil {

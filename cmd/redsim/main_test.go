@@ -209,6 +209,55 @@ func TestCSVStdout(t *testing.T) {
 	}
 }
 
+// TestDeterministicAcrossWorkersAndCache pins the memoization and
+// shared-pool scheduling as pure wall-clock optimizations: a fixed-seed
+// multi-experiment run must produce byte-identical JSON whether
+// simulations run on one worker or eight, with the cache on or off.
+// The set spans matrix experiments, a scheme sweep, a bespoke scenario
+// engine, and fault injection; qgrowth is left out only because its
+// pinned 24h horizon would dominate the suite (TestGoldenJSON covers
+// it cache-on).
+func TestDeterministicAcrossWorkersAndCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs experiments several times")
+	}
+	base := []string{"-run", "table1,fig4,inflate,multiq,faults", "-format", "json",
+		"-reps", "2", "-horizon", "900", "-nodes", "32", "-q"}
+	configs := map[string][]string{
+		"workers=1":           append([]string(nil), append(base, "-workers", "1")...),
+		"workers=8":           append([]string(nil), append(base, "-workers", "8")...),
+		"workers=8,cache=off": append([]string(nil), append(base, "-workers", "8", "-cache", "off")...),
+	}
+	outputs := map[string]string{}
+	for name, args := range configs {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d, stderr:\n%s", name, code, errb.String())
+		}
+		outputs[name] = out.String()
+	}
+	want := outputs["workers=1"]
+	if want == "" {
+		t.Fatal("workers=1 produced no output")
+	}
+	for name, got := range outputs {
+		if got != want {
+			t.Errorf("%s output differs from workers=1 (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+}
+
+// TestCacheFlagValidation rejects cache modes other than on/off.
+func TestCacheFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "table1", "-cache", "maybe"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown cache mode") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
 // TestDeprecatedExpFlag checks -exp still selects experiments (with a
 // deprecation note on stderr).
 func TestDeprecatedExpFlag(t *testing.T) {

@@ -87,6 +87,14 @@ type Config struct {
 	// equal len(Clusters); jobs must arrive in nondecreasing order
 	// and fit their cluster.
 	Streams [][]workload.Job
+	// Workloads, when non-nil, memoizes generated job streams across
+	// runs, keyed by the fully derived model parameters plus stream
+	// seed and horizon; cached streams are shared read-only between
+	// runs. It has no effect on results — a cached stream is
+	// bit-identical to a regenerated one — and is ignored when Streams
+	// supplies the jobs explicitly. Plumbed automatically by
+	// core.Memo.
+	Workloads *workload.StreamCache
 	// Trace, when non-nil, collects run internals: DES event
 	// counters, per-cluster queue-depth series, and the redundant
 	// submit/cancel lifecycle (copies placed, losers canceled, cancel
@@ -246,11 +254,18 @@ type engine struct {
 	inj    *fault.Injector
 	faults FaultStats
 
-	// Slab allocators for the two per-job object kinds. Requests and
-	// grid jobs all live until collect(), so carving them out of
-	// chunks costs one allocation per chunk instead of one per object.
-	reqSlab []sched.Request
-	gjSlab  []gridJob
+	// Slab allocators for the per-job object kinds. Requests, grid
+	// jobs, and copy lists all live until collect(), so carving them
+	// out of chunks costs one allocation per chunk instead of one per
+	// object — and since they die together, the chunks are cleared
+	// and recycled through process-wide pools when the run ends
+	// (releaseSlabs) instead of burning a GC cycle per run.
+	reqSlab   []sched.Request
+	gjSlab    []gridJob
+	copySlab  []*sched.Request
+	reqChunks []*[reqChunk]sched.Request
+	gjChunks  []*[gjChunk]gridJob
+	copyChunk []*[copyChunkLen]*sched.Request
 
 	// Trace instruments (nil when tracing is off).
 	cJobs          *obs.Counter
@@ -365,12 +380,16 @@ func Run(cfg Config) (*Result, error) {
 				}
 			}
 		} else {
-			streamSrc := rng.New(cfg.Seed + uint64(i+1)*0x9E3779B97F4A7C15)
-			jobs = model.GenerateWindow(streamSrc, cfg.Horizon)
+			streamSeed := cfg.Seed + uint64(i+1)*0x9E3779B97F4A7C15
+			key := workload.StreamKey{Model: *model, Seed: streamSeed, Horizon: cfg.Horizon}
+			jobs = cfg.Workloads.Jobs(key, func() []workload.Job {
+				return model.GenerateWindow(rng.New(streamSeed), cfg.Horizon)
+			})
 		}
 		if cfg.MaxJobsPerCluster > 0 && len(jobs) > cfg.MaxJobsPerCluster {
 			jobs = jobs[:cfg.MaxJobsPerCluster]
 		}
+		start := len(e.jobs)
 		for _, j := range jobs {
 			gj := e.newGridJob()
 			gj.eng = e
@@ -385,7 +404,17 @@ func Run(cfg Config) (*Result, error) {
 			}
 			nextID++
 			e.jobs = append(e.jobs, gj)
-			e.sim.ScheduleFn(j.Arrival, 0, arriveAction, gj)
+		}
+		// Chain this cluster's arrivals instead of pre-scheduling them
+		// all: exactly one arrival event per cluster is pending at any
+		// time, and firing it schedules the next. Pre-scheduling the
+		// full stream kept the event queue O(total jobs) deep for the
+		// whole run — pops through a ~10^5-entry heap dominated long
+		// qgrowth-style runs — while the chained queue stays at the
+		// size of the active working set.
+		if cluster := e.jobs[start:]; len(cluster) > 0 {
+			f := &arrivalFeeder{eng: e, jobs: cluster}
+			e.sim.ScheduleFn(cluster[0].rec.Submit, 0, feederAction, f)
 		}
 	}
 
@@ -395,7 +424,9 @@ func Run(cfg Config) (*Result, error) {
 		e.sim.Run()
 	}
 
-	return e.collect()
+	res, err := e.collect()
+	e.releaseSlabs()
+	return res, err
 }
 
 const (
@@ -432,7 +463,7 @@ func calibratedScale(targetLoad, minRuntime, maxRuntime float64) float64 {
 	if maxRuntime > 0 {
 		ref.MaxRuntime = maxRuntime
 	}
-	scale := ref.CalibrateClamped(rng.New(calibrationSeed), refNodes, targetLoad, calibrationSamples)
+	scale := ref.CalibrateClampedCached(calibrationSeed, refNodes, targetLoad, calibrationSamples)
 	calibrationCache.Store(key, scale)
 	return scale
 }
@@ -440,13 +471,26 @@ func calibratedScale(targetLoad, minRuntime, maxRuntime float64) float64 {
 // slab chunk sizes: big enough to amortize allocation, small enough
 // not to strand memory on tiny runs.
 const (
-	reqChunk = 512
-	gjChunk  = 256
+	reqChunk     = 512
+	gjChunk      = 256
+	copyChunkLen = 2048
+)
+
+// Chunk pools shared by all engines in the process. Pooled chunks are
+// always fully zeroed (releaseSlabs clears them before returning them),
+// so newRequest/newGridJob hand out zero-valued objects exactly as a
+// fresh make would.
+var (
+	reqChunkPool  = sync.Pool{New: func() any { return new([reqChunk]sched.Request) }}
+	gjChunkPool   = sync.Pool{New: func() any { return new([gjChunk]gridJob) }}
+	copyChunkPool = sync.Pool{New: func() any { return new([copyChunkLen]*sched.Request) }}
 )
 
 func (e *engine) newRequest() *sched.Request {
 	if len(e.reqSlab) == 0 {
-		e.reqSlab = make([]sched.Request, reqChunk)
+		c := reqChunkPool.Get().(*[reqChunk]sched.Request)
+		e.reqChunks = append(e.reqChunks, c)
+		e.reqSlab = c[:]
 	}
 	r := &e.reqSlab[0]
 	e.reqSlab = e.reqSlab[1:]
@@ -455,17 +499,78 @@ func (e *engine) newRequest() *sched.Request {
 
 func (e *engine) newGridJob() *gridJob {
 	if len(e.gjSlab) == 0 {
-		e.gjSlab = make([]gridJob, gjChunk)
+		c := gjChunkPool.Get().(*[gjChunk]gridJob)
+		e.gjChunks = append(e.gjChunks, c)
+		e.gjSlab = c[:]
 	}
 	gj := &e.gjSlab[0]
 	e.gjSlab = e.gjSlab[1:]
 	return gj
 }
 
+// newCopies carves a zero-length, capacity-n copy list out of the copy
+// slab. The three-index slice pins the capacity so appends can never
+// spill into a neighbouring job's list.
+func (e *engine) newCopies(n int) []*sched.Request {
+	if n > copyChunkLen {
+		return make([]*sched.Request, 0, n)
+	}
+	if len(e.copySlab) < n {
+		c := copyChunkPool.Get().(*[copyChunkLen]*sched.Request)
+		e.copyChunk = append(e.copyChunk, c)
+		e.copySlab = c[:]
+	}
+	s := e.copySlab[0:0:n]
+	e.copySlab = e.copySlab[n:]
+	return s
+}
+
+// releaseSlabs clears every slab chunk and returns it to the pools.
+// Must only run once nothing references the run's requests, grid jobs,
+// or copy lists — i.e. after collect() has copied the records out.
+func (e *engine) releaseSlabs() {
+	for _, c := range e.reqChunks {
+		clear(c[:])
+		reqChunkPool.Put(c)
+	}
+	for _, c := range e.gjChunks {
+		clear(c[:])
+		gjChunkPool.Put(c)
+	}
+	for _, c := range e.copyChunk {
+		clear(c[:])
+		copyChunkPool.Put(c)
+	}
+	e.reqChunks, e.gjChunks, e.copyChunk = nil, nil, nil
+	e.reqSlab, e.gjSlab, e.copySlab = nil, nil, nil
+	e.jobs = nil
+}
+
 // arriveAction is the DES action of a job's arrival event.
 func arriveAction(a any) {
 	gj := a.(*gridJob)
 	gj.eng.arrive(gj)
+}
+
+// arrivalFeeder walks one cluster's job stream in arrival order,
+// keeping a single pending arrival event per cluster.
+type arrivalFeeder struct {
+	eng  *engine
+	jobs []*gridJob // the cluster's jobs, nondecreasing in Submit
+	next int
+}
+
+// feederAction fires one arrival and schedules the cluster's next one.
+// The next event is scheduled before arrive runs so its insertion
+// order matches the old pre-scheduled arrivals as closely as possible.
+func feederAction(a any) {
+	f := a.(*arrivalFeeder)
+	gj := f.jobs[f.next]
+	f.next++
+	if f.next < len(f.jobs) {
+		f.eng.sim.ScheduleFn(f.jobs[f.next].rec.Submit, 0, feederAction, f)
+	}
+	f.eng.arrive(gj)
 }
 
 // pendingSubmit carries one fault-delayed remote copy until its
@@ -525,7 +630,7 @@ func (e *engine) arrive(gj *gridJob) {
 	e.cCopies.Add(int64(len(targets)))
 	e.cCopiesRemote.Add(int64(len(targets) - 1))
 
-	gj.copies = make([]*sched.Request, 0, len(targets))
+	gj.copies = e.newCopies(len(targets))
 	for _, t := range targets {
 		if t != home {
 			// Remote copies ride the control plane: they can be lost

@@ -16,8 +16,6 @@
 package des
 
 import (
-	"container/heap"
-
 	"redreq/internal/obs"
 )
 
@@ -29,8 +27,6 @@ type Event struct {
 
 	fn       func(any)
 	arg      any
-	seq      uint64
-	index    int // heap index, -1 when not queued
 	canceled bool
 }
 
@@ -39,43 +35,114 @@ type Event struct {
 // the package comment on pooling).
 func (e *Event) Canceled() bool { return e.canceled }
 
-type eventHeap []*Event
+// entry is one queued event in the priority queue. The ordering key
+// lives in the entry itself so heap comparisons read contiguous memory
+// instead of dereferencing *Event: key packs (priority, insertion
+// sequence) into one word — priority in the top 16 bits (biased to
+// order negatives correctly), sequence in the low 48 — so ties resolve
+// with a single integer compare. The events popped are identical to a
+// binary heap's because (time, key) is a total order (seq is unique
+// per simulation).
+type entry struct {
+	time float64
+	key  uint64
+	ev   *Event
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
+// packKey combines priority and sequence number into one ordering
+// word. Priorities must fit int16 (every scheduler priority is 0..2;
+// the guard is in ScheduleFn) and 2^48 events outlast any plausible
+// simulation.
+func packKey(priority int, seq uint64) uint64 {
+	return uint64(priority+1<<15)<<48 | seq&(1<<48-1)
+}
+
+func entryLess(a, b *entry) bool {
+	if a.time != b.time {
+		return a.time < b.time
 	}
-	if h[i].Priority != h[j].Priority {
-		return h[i].Priority < h[j].Priority
+	return a.key < b.key
+}
+
+// eventQueue is a 4-ary min-heap laid out flat in a slice: children of
+// node i are 4i+1..4i+4. Compared to container/heap over []*Event it
+// halves the tree depth, keeps sift comparisons inside one or two cache
+// lines, and avoids the interface boxing and per-swap Event.index
+// bookkeeping — the queue was the hottest site in the whole simulator
+// (see DESIGN.md "Hot-path complexity").
+type eventQueue []entry
+
+func (q *eventQueue) push(e entry) {
+	h := append(*q, e)
+	// Sift up: move the hole toward the root, writing e once at the end.
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !entryLess(&e, &h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
 	}
-	return h[i].seq < h[j].seq
+	h[i] = e
+	*q = h
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+// pop removes and returns the minimum entry. The caller must know the
+// queue is non-empty.
+func (q *eventQueue) pop() entry {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	e := h[n]
+	h[n] = entry{} // release the *Event so the pool can own it alone
+	h = h[:n]
+	*q = h
+	if n > 0 {
+		// Bottom-up pop: pull the min child up into the hole all the
+		// way to a leaf (3 compares per level, none against e), then
+		// sift the displaced last entry e up from the leaf. Since e
+		// came from the bottom of the heap it almost always belongs
+		// near a leaf, so the up-phase is O(1) in practice — cheaper
+		// than the classic sift-down's extra compare-against-e per
+		// level.
+		i := 0
+		for {
+			c := 4*i + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if entryLess(&h[j], &h[m]) {
+					m = j
+				}
+			}
+			h[i] = h[m]
+			i = m
+		}
+		for i > 0 {
+			p := (i - 1) / 4
+			if !entryLess(&e, &h[p]) {
+				break
+			}
+			h[i] = h[p]
+			i = p
+		}
+		h[i] = e
+	}
+	return top
 }
 
 // Simulation is a discrete-event simulation instance. It is not safe
 // for concurrent use; run one Simulation per goroutine.
 type Simulation struct {
 	now       float64
-	queue     eventHeap
+	queue     eventQueue
 	seq       uint64
 	processed uint64
 	free      []*Event // recycled Event structs
@@ -143,6 +210,9 @@ func (s *Simulation) ScheduleFn(at float64, priority int, fn func(any), arg any)
 	if at < s.now {
 		panic("des: scheduling event in the past")
 	}
+	if priority < -1<<15 || priority >= 1<<15 {
+		panic("des: priority outside int16 range")
+	}
 	s.seq++
 	var e *Event
 	if n := len(s.free); n > 0 {
@@ -150,11 +220,11 @@ func (s *Simulation) ScheduleFn(at float64, priority int, fn func(any), arg any)
 		s.free[n-1] = nil
 		s.free = s.free[:n-1]
 		e.Time, e.Priority, e.fn, e.arg = at, priority, fn, arg
-		e.seq, e.index, e.canceled = s.seq, -1, false
+		e.canceled = false
 	} else {
-		e = &Event{Time: at, Priority: priority, fn: fn, arg: arg, seq: s.seq, index: -1}
+		e = &Event{Time: at, Priority: priority, fn: fn, arg: arg}
 	}
-	heap.Push(&s.queue, e)
+	s.queue.push(entry{time: at, key: packKey(priority, s.seq), ev: e})
 	s.cScheduled.Inc()
 	s.gQueue.Set(int64(len(s.queue)))
 	return e
@@ -185,12 +255,13 @@ func (s *Simulation) Cancel(e *Event) {
 // Canceled events encountered at the head are reaped and recycled.
 func (s *Simulation) Step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		h := s.queue.pop()
+		e := h.ev
 		if e.canceled {
 			s.recycle(e)
 			continue
 		}
-		s.now = e.Time
+		s.now = h.time
 		s.processed++
 		s.cFired.Inc()
 		e.fn(e.arg)
@@ -230,11 +301,11 @@ func (s *Simulation) RunUntil(t float64) {
 // reaped and recycled.
 func (s *Simulation) Peek() (float64, bool) {
 	for len(s.queue) > 0 {
-		if s.queue[0].canceled {
-			s.recycle(heap.Pop(&s.queue).(*Event))
+		if s.queue[0].ev.canceled {
+			s.recycle(s.queue.pop().ev)
 			continue
 		}
-		return s.queue[0].Time, true
+		return s.queue[0].time, true
 	}
 	return 0, false
 }

@@ -53,6 +53,19 @@ type Options struct {
 	// submit/cancel lifecycle) into one trace: each simulation runs
 	// with its own trace, merged in on completion.
 	Trace *obs.Trace
+	// Cache, when non-nil, memoizes whole simulation results by
+	// config fingerprint with single-flight semantics, so identical
+	// (config, seed) runs repeated across experiments execute exactly
+	// once per process (see core.Memo). Results are unchanged: a
+	// cached result is bit-identical to a fresh run.
+	Cache *core.Memo
+	// Pool, when non-nil, is a shared worker pool: every matrix run
+	// under these options submits its tasks there instead of spawning
+	// its own workers, and the pool's failure latch stops all of them
+	// on the first error. Reports wires one pool across the whole
+	// registry; a nil Pool gives each matrix a private pool of
+	// Workers goroutines.
+	Pool *Pool
 }
 
 // Defaults returns the paper-shaped default options.
@@ -117,6 +130,12 @@ func (o Options) base(n int) core.Config {
 // variant is one simulation configuration within an experiment; Mutate
 // customizes the replication-specific config (e.g. randomized
 // heterogeneous platforms need the replication index).
+//
+// Config is an immutable input: runMatrix copies the struct per task
+// but shares its Clusters slice across all (variant, rep) tasks, so a
+// Mutate hook that changes the platform must build a fresh slice and
+// assign it to cfg.Clusters — never write through the shared backing
+// array.
 type variant struct {
 	Name   string
 	Config core.Config
@@ -124,58 +143,72 @@ type variant struct {
 }
 
 // runMatrix executes every (variant, replication) pair in parallel and
-// returns results indexed [variant][rep].
+// returns results indexed [variant][rep]. Tasks run on opts.Pool when
+// set (sharing workers — and the stop-on-failure latch — with every
+// other matrix on that pool), else on a private pool of opts.Workers
+// goroutines. Variant Configs are treated as immutable inputs: tasks
+// copy the struct but share the Clusters slice, so Mutate hooks must
+// replace cfg.Clusters rather than write through it (see variant).
 func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 	if opts.Reps < 1 {
 		return nil, fmt.Errorf("experiment: Reps must be >= 1")
 	}
-	workers := opts.Workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
+	pool := opts.Pool
+	if pool == nil {
+		pool = NewPool(opts.Workers)
+		defer pool.Close()
 	}
-	type task struct{ v, r int }
-	// Buffered to workers so the producer loop does not serialize on
-	// per-task handoff with an idle worker.
-	tasks := make(chan task, workers)
 	results := make([][]*core.Result, len(variants))
 	for i := range results {
 		results[i] = make([]*core.Result, opts.Reps)
 	}
 	var (
-		wg       sync.WaitGroup
+		pending  sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 		failed   atomic.Bool
 		done     atomic.Int64
 	)
 	total := len(variants) * opts.Reps
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for t := range tasks {
-				cfg := variants[t.v].Config
-				// The struct copy above still aliases the Clusters
-				// slice; concurrent tasks mutate their platforms, so
-				// give each task its own copy.
-				cfg.Clusters = append([]core.ClusterSpec(nil), cfg.Clusters...)
-				cfg.Seed = opts.BaseSeed + uint64(t.r)*seedStride
-				if m := variants[t.v].Mutate; m != nil {
-					m(t.r, &cfg)
+	// Stop feeding work as soon as a simulation fails — here or, with
+	// a shared pool, in any concurrently running matrix: the remaining
+	// (variant, rep) pairs would be discarded along with the error
+	// anyway, and a failed run should not burn the full budget.
+	aborted := false
+enqueue:
+	for v := range variants {
+		for r := 0; r < opts.Reps; r++ {
+			if failed.Load() {
+				break enqueue
+			}
+			if pool.Failed() {
+				aborted = true
+				break enqueue
+			}
+			v, r := v, r
+			pending.Add(1)
+			pool.Do(func() {
+				defer pending.Done()
+				cfg := variants[v].Config
+				cfg.Seed = opts.BaseSeed + uint64(r)*seedStride
+				if m := variants[v].Mutate; m != nil {
+					m(r, &cfg)
 				}
 				if opts.Trace != nil {
 					cfg.Trace = obs.New()
 				}
-				res, err := core.Run(cfg)
+				res, err := opts.Cache.Run(cfg)
 				if err != nil {
+					err = fmt.Errorf("experiment: variant %q rep %d: %w", variants[v].Name, r, err)
 					mu.Lock()
 					if firstErr == nil {
-						firstErr = fmt.Errorf("experiment: variant %q rep %d: %w", variants[t.v].Name, t.r, err)
+						firstErr = err
 					}
 					mu.Unlock()
 					failed.Store(true)
+					pool.Fail(err)
 				} else {
-					results[t.v][t.r] = res
+					results[v][r] = res
 					opts.Trace.Merge(cfg.Trace)
 				}
 				// Progress must fire on failures too, or done never
@@ -183,25 +216,17 @@ func runMatrix(opts Options, variants []variant) ([][]*core.Result, error) {
 				if opts.Progress != nil {
 					opts.Progress(int(done.Add(1)), total)
 				}
-			}
-		}()
-	}
-	// Stop feeding work as soon as a simulation fails: the remaining
-	// (variant, rep) pairs would be discarded along with firstErr
-	// anyway, and a failed matrix should not burn the full budget.
-enqueue:
-	for v := range variants {
-		for r := 0; r < opts.Reps; r++ {
-			if failed.Load() {
-				break enqueue
-			}
-			tasks <- task{v, r}
+			})
 		}
 	}
-	close(tasks)
-	wg.Wait()
+	pending.Wait()
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if aborted {
+		// A failure elsewhere on the shared pool stopped this matrix
+		// mid-feed; its results are incomplete, so surface that error.
+		return nil, pool.Err()
 	}
 	return results, nil
 }

@@ -438,10 +438,15 @@ type table3Row struct {
 func heterogeneousMutate(rep int, cfg *core.Config) {
 	src := rng.New(0xE7E70 ^ uint64(rep)*seedStride)
 	sizes := []int{16, 32, 64, 128, 256}
-	for i := range cfg.Clusters {
-		cfg.Clusters[i].Nodes = sizes[src.IntN(len(sizes))]
-		cfg.Clusters[i].MeanIAT = src.Uniform(2, 20)
+	// Build a fresh platform rather than writing through cfg.Clusters:
+	// the slice is shared across every (variant, rep) task of the
+	// matrix (variant Configs are immutable inputs).
+	clusters := make([]core.ClusterSpec, len(cfg.Clusters))
+	for i := range clusters {
+		clusters[i].Nodes = sizes[src.IntN(len(sizes))]
+		clusters[i].MeanIAT = src.Uniform(2, 20)
 	}
+	cfg.Clusters = clusters
 }
 
 // table3Variants builds the heterogeneous-platform matrix: all schemes

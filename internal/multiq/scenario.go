@@ -110,7 +110,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		model.MaxRuntime = cfg.MaxRuntime
 	}
 	if cfg.TargetLoad > 0 {
-		model.CalibrateClamped(rng.New(0xCA11B8A7E), cfg.Nodes, cfg.TargetLoad, 100000)
+		model.CalibrateClampedCached(0xCA11B8A7E, cfg.Nodes, cfg.TargetLoad, 100000)
 	}
 	if err := model.Validate(); err != nil {
 		return nil, err

@@ -42,18 +42,30 @@ func (c *Cluster) passEASY() {
 	// Reserve the head at its shadow time, then backfill requests
 	// that fit right now for their full requested duration without
 	// pushing the head reservation back.
+	//
+	// The pass profile's free capacity only grows with time — every
+	// busy interval in it (running jobs, earlier backfills) starts at
+	// now — so reserving the head introduces exactly one dip:
+	// shadowFree nodes free just after shadow. A candidate therefore
+	// backfills iff it fits the free nodes now (c.free, already
+	// checked) and, when its requested window crosses shadow, also
+	// fits shadowFree. That is two compares per candidate where a
+	// per-candidate FindAnchor/AddBusy walk used to dominate passes on
+	// deep queues; the start set and order are identical.
 	prof := c.buildRunningProfile(now)
 	shadow := prof.FindAnchor(now, head.Estimate, head.Nodes)
-	prof.AddBusy(shadow, shadow+head.Estimate, head.Nodes)
+	shadowFree := prof.AvailAt(shadow) - head.Nodes
 	c.backfilling = true
 	for j := i + 1; j < len(c.queue) && c.free > 0; j++ {
 		r := c.queue[j]
 		if r == nil || r.State != Pending || r.Nodes > c.free {
 			continue
 		}
-		if prof.FindAnchor(now, r.Estimate, r.Nodes) == now {
+		if crosses := now+r.Estimate > shadow; !crosses || r.Nodes <= shadowFree {
 			c.start(r)
-			prof.AddBusy(now, now+r.Estimate, r.Nodes)
+			if crosses {
+				shadowFree -= r.Nodes
+			}
 		}
 	}
 	c.backfilling = false

@@ -1,0 +1,89 @@
+// Stream memoization: experiment matrices run every scheme variant on
+// paired seeds, so the same (model, seed, horizon) job stream is
+// regenerated for each variant. StreamCache splits generation from
+// consumption: one variant generates the stream, every other variant
+// of the replication shares it read-only.
+
+package workload
+
+import (
+	"sync"
+
+	"redreq/internal/obs"
+)
+
+// StreamKey is the content address of one generated job stream: the
+// fully derived model parameters (which fold in per-cluster MeanIAT,
+// runtime scale, clamps, and estimate mode), the stream's RNG seed,
+// and the submission window. Two keys are equal exactly when
+// GenerateWindow would produce byte-identical streams, so a cached
+// stream is indistinguishable from a fresh one.
+type StreamKey struct {
+	Model   Model
+	Seed    uint64
+	Horizon float64
+}
+
+// streamEntry is one cached (possibly in-flight) stream. ready is
+// closed once jobs is valid.
+type streamEntry struct {
+	ready chan struct{}
+	jobs  []Job
+}
+
+// StreamCache memoizes generated job streams by StreamKey with
+// single-flight semantics: concurrent requests for the same key block
+// until the first finishes generating. Cached streams are shared
+// read-only — callers must not modify the returned slice (truncation
+// by reslicing is fine). Safe for concurrent use.
+type StreamCache struct {
+	mu      sync.Mutex
+	streams map[StreamKey]*streamEntry
+
+	hit, miss obs.Counter
+}
+
+// NewStreamCache returns an empty stream cache.
+func NewStreamCache() *StreamCache {
+	return &StreamCache{streams: make(map[StreamKey]*streamEntry)}
+}
+
+// Jobs returns the stream for key, calling generate exactly once per
+// key across all callers. A nil receiver always generates.
+func (c *StreamCache) Jobs(key StreamKey, generate func() []Job) []Job {
+	if c == nil {
+		return generate()
+	}
+	c.mu.Lock()
+	e := c.streams[key]
+	if e != nil {
+		c.hit.Inc()
+		c.mu.Unlock()
+		<-e.ready
+		return e.jobs
+	}
+	e = &streamEntry{ready: make(chan struct{})}
+	c.streams[key] = e
+	c.miss.Inc()
+	c.mu.Unlock()
+	e.jobs = generate()
+	close(e.ready)
+	return e.jobs
+}
+
+// Stats returns the hit and miss counts so far.
+func (c *StreamCache) Stats() (hit, miss int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hit.Value(), c.miss.Value()
+}
+
+// Publish adds the cache.workload.{hit,miss} counters to the trace.
+func (c *StreamCache) Publish(tr *obs.Trace) {
+	if c == nil {
+		return
+	}
+	tr.Counter("cache.workload.hit").Add(c.hit.Value())
+	tr.Counter("cache.workload.miss").Add(c.miss.Value())
+}
