@@ -4,11 +4,11 @@ GO ?= go
 # (override: make bench BENCH_LABEL=pr3-after).
 BENCH_LABEL ?= dev
 
-.PHONY: build test check bench bench-all fmt results
+.PHONY: build test check bench bench-all fmt results validate
 
 # Experiments recorded in results_full.txt: the registry minus sec4,
 # whose wall-clock measurements are not deterministic.
-RESULTS_EXPERIMENTS = fig12,table1,table2,fig3,table3,fig4,table4,qgrowth,inflate,loadsweep,ablations,multiq,moldable,faults
+RESULTS_EXPERIMENTS = fig12,table1,table2,fig3,table3,fig4,table4,qgrowth,inflate,loadsweep,ablations,multiq,moldable,faults,validate,trace
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,14 @@ bench-all:
 
 fmt:
 	gofmt -l -w .
+
+# validate runs the validation harness: the invariant suite (causality,
+# liveness, capacity, work conservation, CPU-time ledger, determinism)
+# over representative scenarios, the analytical queueing twins, and the
+# SWF trace replay. Exits non-zero on any violation; record confirmed
+# violations in FINDINGS.md.
+validate:
+	$(GO) run ./cmd/redsim -run validate,trace -q
 
 # results regenerates results_full.txt through the registry dispatcher
 # (deterministic: fixed seeds, timing on stderr) and diffs it against

@@ -21,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite the golden fixtures in testdata
 // JSON output is pinned byte-for-byte. sec4 and the wall-clock layers
 // are excluded (nondeterministic); the sweep experiments with long
 // default axes are excluded to keep the test fast.
-var goldenExperiments = []string{"table1", "table4", "fig4", "qgrowth", "inflate", "faults"}
+var goldenExperiments = []string{"table1", "table4", "fig4", "qgrowth", "inflate", "faults", "validate", "trace"}
 
 // quickArgs is the reduced-scale configuration the fixtures were
 // generated with (matches experiment.Quick()).

@@ -378,6 +378,10 @@ func Run(cfg Config) (*Result, error) {
 				if j.Arrival < 0 {
 					return nil, fmt.Errorf("core: stream %d job %d arrives at %v", i, k, j.Arrival)
 				}
+				if k > 0 && j.Arrival < jobs[k-1].Arrival {
+					return nil, fmt.Errorf("core: stream %d job %d arrives at %v, before job %d at %v (streams must be sorted by arrival)",
+						i, k, j.Arrival, k-1, jobs[k-1].Arrival)
+				}
 			}
 		} else {
 			streamSeed := cfg.Seed + uint64(i+1)*0x9E3779B97F4A7C15

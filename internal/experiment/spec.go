@@ -88,6 +88,8 @@ var specs = []*Spec{
 	multiqSpec,
 	moldableSpec,
 	faultsSpec,
+	validateSpec,
+	traceSpec,
 }
 
 // All returns every registered experiment in execution order.

@@ -1,0 +1,104 @@
+// Package twin provides closed-form queueing approximations — the
+// simulator's analytical twins. Where the discrete-event engine and a
+// textbook model describe the same system (single k-node cluster, one
+// node per job, FCFS), their steady-state waits must agree within
+// stated tolerances; a persistent mismatch is a simulator bug, not a
+// modeling nuance. The `validate` experiment drives these comparisons:
+//
+//   - M/M/k mean wait via the Erlang-C formula (exact),
+//   - M/G/k mean wait via the Allen-Cunneen approximation,
+//   - the stability threshold of redundancy-d systems with identical
+//     copies and cancel-on-start, which behave as a pooled server
+//     group (see Anton, Ayesta, Jonckheere, Verloop, "A survey of
+//     stability results for redundancy systems").
+package twin
+
+import "math"
+
+// ErlangC returns the probability that an arriving job must queue in an
+// M/M/k system with offered load a = lambda/mu Erlangs (the Erlang-C
+// formula). It returns NaN when k < 1 and 1 when the system is at or
+// beyond saturation (a >= k).
+func ErlangC(k int, a float64) float64 {
+	if k < 1 || a < 0 || math.IsNaN(a) {
+		return math.NaN()
+	}
+	if a == 0 {
+		return 0
+	}
+	if a >= float64(k) {
+		return 1
+	}
+	// Accumulate the Erlang-B recursion B(j) = a*B(j-1)/(j + a*B(j-1)),
+	// numerically stable for any k, then convert to Erlang-C.
+	b := 1.0
+	for j := 1; j <= k; j++ {
+		b = a * b / (float64(j) + a*b)
+	}
+	rho := a / float64(k)
+	return b / (1 - rho*(1-b))
+}
+
+// MMkWait returns the mean queueing wait (excluding service) of an
+// M/M/k system with arrival rate lambda and mean service time s:
+// W = C(k, a) / (k/s - lambda). It returns +Inf at or beyond
+// saturation.
+func MMkWait(k int, lambda, s float64) float64 {
+	if k < 1 || lambda < 0 || s <= 0 {
+		return math.NaN()
+	}
+	a := lambda * s
+	if a >= float64(k) {
+		return math.Inf(1)
+	}
+	return ErlangC(k, a) / (float64(k)/s - lambda)
+}
+
+// MGkWait returns the approximate mean queueing wait of an M/G/k
+// system by the Allen-Cunneen formula: the M/M/k wait scaled by
+// (1 + scv)/2, where scv is the squared coefficient of variation of
+// the service-time distribution (0 deterministic, 1 exponential).
+func MGkWait(k int, lambda, s, scv float64) float64 {
+	if scv < 0 {
+		return math.NaN()
+	}
+	return MMkWait(k, lambda, s) * (1 + scv) / 2
+}
+
+// StabilityThreshold returns the critical per-cluster load rho* below
+// which a symmetric n-cluster system with d-fold redundant identical
+// copies is stable. Under cancel-on-start, loser copies never consume
+// service capacity, so the d queues pool into one server group and the
+// system is stable for any rho < 1 regardless of d. Under
+// cancel-on-completion of i.i.d. exponential copies the survey gives
+// rho* = n/(d*n) per participating server group scaled by the copy
+// multiplicity — every copy runs to completion, so capacity divides by
+// d: rho* = 1/d. The cancel parameter selects the protocol: true for
+// cancel-on-start (the simulator's protocol), false for
+// cancel-on-completion of identical copies.
+func StabilityThreshold(d int, cancelOnStart bool) float64 {
+	if d < 1 {
+		return math.NaN()
+	}
+	if cancelOnStart {
+		return 1
+	}
+	return 1 / float64(d)
+}
+
+// HyperExpBalanced returns the two rates and the first-branch
+// probability of a balanced-means two-phase hyperexponential
+// distribution with the given mean and squared coefficient of
+// variation scv >= 1. Balanced means (p1/mu1 == p2/mu2) pin down the
+// remaining degree of freedom; the validate experiment uses this to
+// synthesize high-variance service times with a known scv for the
+// M/G/k twin. For scv == 1 it degenerates to the exponential.
+func HyperExpBalanced(mean, scv float64) (p float64, rate1, rate2 float64) {
+	if mean <= 0 || scv < 1 {
+		return math.NaN(), math.NaN(), math.NaN()
+	}
+	p = 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
+	rate1 = 2 * p / mean
+	rate2 = 2 * (1 - p) / mean
+	return p, rate1, rate2
+}

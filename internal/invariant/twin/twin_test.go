@@ -1,0 +1,102 @@
+package twin
+
+import (
+	"math"
+	"testing"
+)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (tol %v)", name, got, want, tol)
+	}
+}
+
+func TestErlangCKnownValues(t *testing.T) {
+	// M/M/1: C = rho.
+	near(t, "C(1, 0.5)", ErlangC(1, 0.5), 0.5, 1e-12)
+	// M/M/2 at rho = 0.5 (a = 1): C = 1/3 exactly.
+	near(t, "C(2, 1)", ErlangC(2, 1), 1.0/3.0, 1e-12)
+	// Classic call-center table value: k = 10, a = 8 Erlangs.
+	near(t, "C(10, 8)", ErlangC(10, 8), 0.40923, 5e-5)
+	if got := ErlangC(4, 0); got != 0 {
+		t.Errorf("C(4, 0) = %v, want 0", got)
+	}
+	if got := ErlangC(4, 4); got != 1 {
+		t.Errorf("C at saturation = %v, want 1", got)
+	}
+	if !math.IsNaN(ErlangC(0, 1)) {
+		t.Error("k = 0 should be NaN")
+	}
+}
+
+func TestErlangCLargeKStable(t *testing.T) {
+	// The recursion must not overflow where the naive factorial form
+	// would (k! overflows float64 past k = 170).
+	c := ErlangC(500, 450)
+	if math.IsNaN(c) || c <= 0 || c >= 1 {
+		t.Fatalf("C(500, 450) = %v, want a probability in (0, 1)", c)
+	}
+}
+
+func TestMMkWait(t *testing.T) {
+	// M/M/1: W = rho/(mu - lambda) = rho*s/(1-rho).
+	near(t, "W M/M/1", MMkWait(1, 0.5, 1), 0.5/(1-0.5), 1e-12)
+	// M/M/2 at a = 1: W = C/(k*mu - lambda) = (1/3)/(2-1) = 1/3.
+	near(t, "W M/M/2", MMkWait(2, 1, 1), 1.0/3.0, 1e-12)
+	if w := MMkWait(2, 2, 1); !math.IsInf(w, 1) {
+		t.Errorf("saturated wait = %v, want +Inf", w)
+	}
+	// Pooling: one fast group of 2k servers beats two separate groups
+	// of k at equal per-server load.
+	if pooled, split := MMkWait(16, 12.8, 1), MMkWait(8, 6.4, 1); pooled >= split {
+		t.Errorf("pooled wait %v not below split wait %v", pooled, split)
+	}
+}
+
+func TestMGkWait(t *testing.T) {
+	// scv = 1 is exactly M/M/k.
+	near(t, "M/G/k at scv 1", MGkWait(4, 3, 1, 1), MMkWait(4, 3, 1), 1e-12)
+	// Deterministic service halves the M/M/k wait.
+	near(t, "M/D/k", MGkWait(4, 3, 1, 0), MMkWait(4, 3, 1)/2, 1e-12)
+	// scv = 4 scales by 2.5.
+	near(t, "scv 4", MGkWait(4, 3, 1, 4), MMkWait(4, 3, 1)*2.5, 1e-12)
+	if !math.IsNaN(MGkWait(4, 3, 1, -1)) {
+		t.Error("negative scv should be NaN")
+	}
+}
+
+func TestStabilityThreshold(t *testing.T) {
+	if got := StabilityThreshold(4, true); got != 1 {
+		t.Errorf("cancel-on-start threshold = %v, want 1", got)
+	}
+	if got := StabilityThreshold(4, false); got != 0.25 {
+		t.Errorf("cancel-on-completion threshold = %v, want 0.25", got)
+	}
+	if !math.IsNaN(StabilityThreshold(0, true)) {
+		t.Error("d = 0 should be NaN")
+	}
+}
+
+func TestHyperExpBalanced(t *testing.T) {
+	const mean, scv = 2.0, 4.0
+	p, r1, r2 := HyperExpBalanced(mean, scv)
+	if p <= 0.5 || p >= 1 {
+		t.Fatalf("p = %v outside (0.5, 1)", p)
+	}
+	gotMean := p/r1 + (1-p)/r2
+	near(t, "mean", gotMean, mean, 1e-12)
+	// E[X^2] of a hyperexponential: sum p_i * 2/rate_i^2.
+	m2 := p*2/(r1*r1) + (1-p)*2/(r2*r2)
+	gotSCV := (m2 - gotMean*gotMean) / (gotMean * gotMean)
+	near(t, "scv", gotSCV, scv, 1e-9)
+	// Balanced means: p/r1 == (1-p)/r2.
+	near(t, "balance", p/r1, (1-p)/r2, 1e-12)
+	// Degenerate case: scv = 1 must reproduce the exponential mean.
+	p1, e1, e2 := HyperExpBalanced(mean, 1)
+	near(t, "exp p", p1, 0.5, 1e-12)
+	near(t, "exp rates", e1, e2, 1e-12)
+	if !math.IsNaN(func() float64 { q, _, _ := HyperExpBalanced(-1, 4); return q }()) {
+		t.Error("negative mean should be NaN")
+	}
+}

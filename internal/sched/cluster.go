@@ -171,6 +171,14 @@ type Stats struct {
 	MaxQueue   int
 	MaxRunning int
 	Passes     int
+	// BusyCPUSeconds is the node-seconds consumed by completed
+	// requests (runtime x nodes, accumulated at finish). It is the
+	// scheduler's own CPU-time ledger, kept independently of the
+	// engine's per-job records so the invariant suite can balance
+	// useful work plus orphaned work against ground truth. Requests
+	// still running when a truncated (StopAtHorizon) run ends are not
+	// counted.
+	BusyCPUSeconds float64
 }
 
 // Cluster is one batch-scheduled site.
@@ -499,6 +507,7 @@ func (c *Cluster) finish(r *Request) {
 		}
 	}
 	c.stats.Finished++
+	c.stats.BusyCPUSeconds += (now - r.Start) * float64(r.Nodes)
 	if c.cfg.Alg == CBF {
 		// Release the unused tail of this job's profile allocation
 		// (the job finished earlier than its requested end), then

@@ -2,6 +2,15 @@
 // evaluation: mean, standard deviation, coefficient of variation,
 // percentiles, and simple confidence intervals over replicated
 // experiments.
+//
+// NaN handling is deterministic across all aggregates: a sample that
+// contains any NaN yields NaN from Mean, StdDev, CV, Min, Max, and
+// Percentile (and hence every Summary field). Mean and StdDev propagate
+// NaN through arithmetic naturally; Min, Max, and Percentile check
+// explicitly, because comparison- and sort-based reductions would
+// otherwise give NaNs no total order and make the result depend on the
+// input permutation — the same sample could report different
+// percentiles across runs, breaking byte-determinism downstream.
 package stats
 
 import (
@@ -63,13 +72,18 @@ func CV(xs []float64) float64 {
 	return StdDev(xs) / m * 100
 }
 
-// Max returns the maximum of xs, or 0 for an empty slice.
+// Max returns the maximum of xs, 0 for an empty slice, or NaN when the
+// sample contains a NaN (position-independent, unlike a bare
+// comparison loop).
 func Max(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	m := xs[0]
-	for _, x := range xs[1:] {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 		if x > m {
 			m = x
 		}
@@ -77,13 +91,17 @@ func Max(xs []float64) float64 {
 	return m
 }
 
-// Min returns the minimum of xs, or 0 for an empty slice.
+// Min returns the minimum of xs, 0 for an empty slice, or NaN when the
+// sample contains a NaN.
 func Min(xs []float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	m := xs[0]
-	for _, x := range xs[1:] {
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 		if x < m {
 			m = x
 		}
@@ -93,13 +111,20 @@ func Min(xs []float64) float64 {
 
 // Percentile returns the p-th percentile (0 <= p <= 100) of xs using
 // linear interpolation between closest ranks. It returns 0 for an empty
-// slice.
+// slice and NaN when the sample contains a NaN: sort.Float64s gives
+// NaNs no total order, so sorting a NaN-laced sample would otherwise
+// yield permutation-dependent — nondeterministic — percentiles.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	sorted := make([]float64, len(xs))
 	copy(sorted, xs)
+	for _, x := range sorted {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
+	}
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
@@ -128,7 +153,9 @@ type Summary struct {
 	Median float64
 }
 
-// Summarize computes a Summary of xs.
+// Summarize computes a Summary of xs. A sample containing any NaN
+// yields NaN in every float field, deterministically (see the package
+// comment).
 func Summarize(xs []float64) Summary {
 	return Summary{
 		N:      len(xs),

@@ -171,3 +171,57 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestNaNDeterminism pins the NaN contract: any NaN in the sample makes
+// every aggregate NaN, independent of where the NaN sits. Before this
+// was defined, sort.Float64s gave NaNs no total order, so the same
+// sample could yield different percentiles across input permutations.
+func TestNaNDeterminism(t *testing.T) {
+	nan := math.NaN()
+	perms := [][]float64{
+		{nan, 1, 2, 3, 4, 5},
+		{1, 2, nan, 3, 4, 5},
+		{1, 2, 3, 4, 5, nan},
+	}
+	for _, xs := range perms {
+		for name, f := range map[string]func([]float64) float64{
+			"Mean":   Mean,
+			"StdDev": StdDev,
+			"Min":    Min,
+			"Max":    Max,
+			"CV":     CV,
+			"Median": func(v []float64) float64 { return Percentile(v, 50) },
+			"P90":    func(v []float64) float64 { return Percentile(v, 90) },
+		} {
+			if got := f(xs); !math.IsNaN(got) {
+				t.Errorf("%s(%v) = %v, want NaN", name, xs, got)
+			}
+		}
+	}
+	// Every permutation agrees bit-for-bit on the whole Summary.
+	base := Summarize(perms[0])
+	for _, xs := range perms[1:] {
+		s := Summarize(xs)
+		for name, pair := range map[string][2]float64{
+			"Mean": {s.Mean, base.Mean}, "StdDev": {s.StdDev, base.StdDev},
+			"CV": {s.CV, base.CV}, "Min": {s.Min, base.Min},
+			"Max": {s.Max, base.Max}, "Median": {s.Median, base.Median},
+		} {
+			if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+				t.Errorf("Summarize(%v).%s = %v differs across permutations", xs, name, pair[0])
+			}
+		}
+	}
+}
+
+// TestPercentileNaNFree checks the NaN guard leaves clean samples
+// untouched and does not mutate the caller's slice.
+func TestPercentileNaNFree(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("median = %v, want 3", got)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -172,11 +173,14 @@ func Write(w io.Writer, tr *Trace) error {
 		fmt.Fprintf(bw, "; Note: %s\n", tr.Header.Note)
 	}
 	for _, r := range tr.Records {
-		_, err := fmt.Fprintf(bw, "%d %.2f %.2f %.2f %d %.2f %.2f %d %.2f %.2f %d %d %d %d %d %d %d %.2f\n",
-			r.JobNumber, r.SubmitTime, r.WaitTime, r.RunTime, r.UsedProcs,
-			r.AvgCPUTime, r.UsedMemory, r.ReqProcs, r.ReqTime, r.ReqMemory,
+		// Times use minimal-precision formatting: the historical %.2f
+		// rounded sub-centisecond values, so a swfgen -> Parse round
+		// trip was not value-faithful for model-generated arrivals.
+		_, err := fmt.Fprintf(bw, "%d %s %s %s %d %s %s %d %s %s %d %d %d %d %d %d %d %s\n",
+			r.JobNumber, g(r.SubmitTime), g(r.WaitTime), g(r.RunTime), r.UsedProcs,
+			g(r.AvgCPUTime), g(r.UsedMemory), r.ReqProcs, g(r.ReqTime), g(r.ReqMemory),
 			r.Status, r.UserID, r.GroupID, r.ExecutableID, r.QueueID,
-			r.PartitionID, r.PrecedingJob, r.ThinkTime)
+			r.PartitionID, r.PrecedingJob, g(r.ThinkTime))
 		if err != nil {
 			return fmt.Errorf("swf: write: %w", err)
 		}
@@ -184,12 +188,26 @@ func Write(w io.Writer, tr *Trace) error {
 	return bw.Flush()
 }
 
+// g formats a float with the fewest digits that parse back to the same
+// value, keeping written traces value-faithful under round trips.
+func g(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
 // Jobs converts the trace's records to workload jobs, skipping records
 // without a positive runtime or processor count. Requested processors
 // fall back to used processors, and requested time falls back to the
 // actual runtime, mirroring common SWF-replay practice.
+//
+// Jobs are returned in nondecreasing arrival order regardless of the
+// trace's record order — real PWA files commonly log records out of
+// submit-time order, and replaying such a trace verbatim would feed the
+// simulator non-monotone arrivals, silently corrupting queue dynamics.
+// Ties on arrival keep job-number order.
 func (tr *Trace) Jobs() []workload.Job {
-	jobs := make([]workload.Job, 0, len(tr.Records))
+	type numbered struct {
+		job workload.Job
+		num int
+	}
+	keep := make([]numbered, 0, len(tr.Records))
 	for _, r := range tr.Records {
 		nodes := r.ReqProcs
 		if nodes <= 0 {
@@ -202,12 +220,25 @@ func (tr *Trace) Jobs() []workload.Job {
 		if est < r.RunTime {
 			est = r.RunTime
 		}
-		jobs = append(jobs, workload.Job{
-			Arrival:  r.SubmitTime,
-			Nodes:    nodes,
-			Runtime:  r.RunTime,
-			Estimate: est,
+		keep = append(keep, numbered{
+			job: workload.Job{
+				Arrival:  r.SubmitTime,
+				Nodes:    nodes,
+				Runtime:  r.RunTime,
+				Estimate: est,
+			},
+			num: r.JobNumber,
 		})
+	}
+	sort.SliceStable(keep, func(i, j int) bool {
+		if keep[i].job.Arrival != keep[j].job.Arrival {
+			return keep[i].job.Arrival < keep[j].job.Arrival
+		}
+		return keep[i].num < keep[j].num
+	})
+	jobs := make([]workload.Job, len(keep))
+	for i, k := range keep {
+		jobs[i] = k.job
 	}
 	return jobs
 }

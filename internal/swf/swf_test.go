@@ -272,3 +272,72 @@ func TestParseFileBadGzip(t *testing.T) {
 		t.Error("corrupt gzip accepted")
 	}
 }
+
+// TestJobsOutOfOrderSubmit replays a trace whose records are logged out
+// of submit-time order — common in real PWA files, where job numbers
+// follow completion or accounting order — and checks Jobs() returns a
+// nondecreasing arrival sequence with ties broken by job number.
+// Feeding the raw record order to the simulator would schedule
+// non-monotone arrivals and silently corrupt queue dynamics.
+func TestJobsOutOfOrderSubmit(t *testing.T) {
+	const outOfOrder = `; Computer: disordered
+4 30.5 0 10 1 -1 -1 1 10 -1 1 1 1 -1 1 -1 -1 -1
+1 12.25 0 10 2 -1 -1 2 10 -1 1 1 1 -1 1 -1 -1 -1
+3 12.25 0 10 4 -1 -1 4 10 -1 1 1 1 -1 1 -1 -1 -1
+2 0.5 0 10 8 -1 -1 8 10 -1 1 1 1 -1 1 -1 -1 -1
+`
+	tr, err := Parse(strings.NewReader(outOfOrder))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := tr.Jobs()
+	if len(jobs) != 4 {
+		t.Fatalf("got %d jobs, want 4", len(jobs))
+	}
+	wantArrivals := []float64{0.5, 12.25, 12.25, 30.5}
+	wantNodes := []int{8, 2, 4, 1} // job 1 before job 3 on the 12.25 tie
+	for i := range jobs {
+		if jobs[i].Arrival != wantArrivals[i] || jobs[i].Nodes != wantNodes[i] {
+			t.Errorf("job %d = {arrival %v nodes %d}, want {%v %d}",
+				i, jobs[i].Arrival, jobs[i].Nodes, wantArrivals[i], wantNodes[i])
+		}
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Arrival < jobs[i-1].Arrival {
+			t.Fatalf("arrivals not monotone at %d: %v < %v", i, jobs[i].Arrival, jobs[i-1].Arrival)
+		}
+	}
+}
+
+// TestWriteRoundTripExact pins value-faithful writing: FromJobs ->
+// Write -> Parse -> Jobs must reproduce every float bit-for-bit, even
+// for sub-centisecond arrivals the old %.2f formatting rounded away.
+func TestWriteRoundTripExact(t *testing.T) {
+	m := workload.NewModel(64)
+	src := rng.New(11)
+	jobs := m.GenerateWindow(src, 600)
+	// Splice in adversarial sub-centisecond values (past the last
+	// arrival, so the Jobs() sort keeps input positions).
+	last := jobs[len(jobs)-1].Arrival
+	jobs = append(jobs, workload.Job{Arrival: last + 0.001220703125, Nodes: 3, Runtime: 1.0000000001, Estimate: 2.5e-3 + 4})
+	tr := FromJobs(jobs, "exact", 64)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	jobs2 := tr2.Jobs()
+	if len(jobs2) != len(jobs) {
+		t.Fatalf("round trip: %d vs %d jobs", len(jobs2), len(jobs))
+	}
+	// FromJobs preserves input order and GenerateWindow emits monotone
+	// arrivals, so positions line up after the Jobs() sort.
+	for i := range jobs {
+		if jobs2[i] != jobs[i] {
+			t.Fatalf("job %d changed: %+v vs %+v", i, jobs2[i], jobs[i])
+		}
+	}
+}
