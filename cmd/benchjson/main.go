@@ -160,6 +160,19 @@ func checkHistory(path string) error {
 			if b.Name == "" || len(b.Metrics) == 0 {
 				return fmt.Errorf("%s: entry %q has a benchmark without name or metrics", path, e.Label)
 			}
+			// The sharded-engine series has a fixed shape: the name is
+			// EngineSharded/shards=<positive int> and the recorded
+			// metric is jobs/s, the cross-PR throughput ceiling.
+			if rest, ok := strings.CutPrefix(b.Name, "EngineSharded/"); ok {
+				n, err := strconv.Atoi(strings.TrimPrefix(rest, "shards="))
+				if !strings.HasPrefix(rest, "shards=") || err != nil || n < 1 {
+					return fmt.Errorf("%s: entry %q: malformed sharded benchmark name %q (want EngineSharded/shards=N)",
+						path, e.Label, b.Name)
+				}
+				if _, ok := b.Metrics["jobs/s"]; !ok {
+					return fmt.Errorf("%s: entry %q: %s lacks the jobs/s metric", path, e.Label, b.Name)
+				}
+			}
 		}
 	}
 	return nil

@@ -15,6 +15,7 @@ pkg: redreq
 cpu: test
 BenchmarkSimulationCore-8   	      10	 100000000 ns/op	        52341 jobs/s
 BenchmarkEngine/trace=off-8 	       5	 200000000 ns/op
+BenchmarkEngineSharded/shards=2-8 	       3	 150000000 ns/op	       180000 jobs/s
 PASS
 `
 
@@ -65,8 +66,8 @@ func TestRecordAndDelta(t *testing.T) {
 	if len(hist.Entries) != 2 || hist.Entries[0].Label != "before" || hist.Entries[1].Label != "after" {
 		t.Fatalf("history entries: %+v", hist.Entries)
 	}
-	if n := len(hist.Entries[0].Benchmarks); n != 2 {
-		t.Errorf("entry recorded %d benchmarks, want 2", n)
+	if n := len(hist.Entries[0].Benchmarks); n != 3 {
+		t.Errorf("entry recorded %d benchmarks, want 3", n)
 	}
 	if v := hist.Entries[1].Benchmarks[0].Metrics["jobs/s"]; v != 104682 {
 		t.Errorf("jobs/s = %v, want 104682", v)
@@ -88,6 +89,10 @@ func TestCheckMode(t *testing.T) {
 		"empty.json":   `{"entries": []}`,
 		"nolabel.json": `{"entries": [{"benchmarks": [{"name": "X", "metrics": {"ns/op": 1}}]}]}`,
 		"nobench.json": `{"entries": [{"label": "x"}]}`,
+		// The sharded series has a pinned shape: shards=N in the name
+		// and a jobs/s metric.
+		"shardname.json": `{"entries": [{"label": "x", "benchmarks": [{"name": "EngineSharded/shards=zero", "metrics": {"jobs/s": 1}}]}]}`,
+		"shardjobs.json": `{"entries": [{"label": "x", "benchmarks": [{"name": "EngineSharded/shards=2", "metrics": {"ns/op": 1}}]}]}`,
 	}
 	for name, content := range bad {
 		path := filepath.Join(dir, name)

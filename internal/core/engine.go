@@ -116,6 +116,35 @@ type Config struct {
 	// workload, under which queues grow throughout the window
 	// (Section 4.1 observes growth of about 700 jobs per hour).
 	StopAtHorizon bool
+	// ControlLatency is the one-way virtual-time latency in seconds
+	// of cross-cluster control messages: remote submit deliveries and
+	// the winner's cancel callbacks. 0 keeps the paper's model
+	// (Section 3.1.2 simulates no network delay) — copies are placed
+	// and canceled instantaneously. A positive latency L delivers a
+	// remote copy L seconds after submission and a cancel L seconds
+	// after a start; a copy that starts before its cancel lands runs
+	// to completion as pure waste (Result.Overruns), and the winner
+	// is the lexicographically least (start time, cluster index)
+	// start. ControlLatency is also the sharded engine's lookahead:
+	// epochs are L wide, so Shards > 1 requires ControlLatency > 0.
+	ControlLatency float64
+	// Shards splits the run into per-cluster event shards executed by
+	// that many goroutines under an epoch-synchronized coordinator
+	// (see DESIGN.md §12). Results are bit-identical at every shard
+	// count — Shards is excluded from the fingerprint — so 0 or 1
+	// selects the sequential engine, and configurations the sharded
+	// engine cannot execute exactly (ControlLatency 0, active fault
+	// plans, SelQueueLen selection) silently fall back to it.
+	Shards int
+	// Collector, when non-nil, receives every completed job's record
+	// as a stream (see Collector), enabling reductions that do not
+	// retain []JobRecord. Runs with a Collector bypass core.Memo.
+	Collector Collector
+	// DropRecords discards job records once observed instead of
+	// retaining Result.Jobs; combined with a Collector and Shards > 1
+	// this keeps memory O(active jobs) instead of O(total jobs).
+	// Runs with DropRecords bypass core.Memo.
+	DropRecords bool
 }
 
 // Validate reports the first configuration problem found.
@@ -142,6 +171,12 @@ func (cfg *Config) Validate() error {
 	}
 	if cfg.TargetLoad < 0 {
 		return fmt.Errorf("core: negative target load %v", cfg.TargetLoad)
+	}
+	if cfg.ControlLatency < 0 {
+		return fmt.Errorf("core: negative control latency %v", cfg.ControlLatency)
+	}
+	if cfg.Shards < 0 {
+		return fmt.Errorf("core: negative shard count %d", cfg.Shards)
 	}
 	if err := cfg.Faults.Validate(len(cfg.Clusters)); err != nil {
 		return err
@@ -204,6 +239,21 @@ type Result struct {
 	// Faults aggregates injected-fault outcomes; all zero when the
 	// run had no fault plan.
 	Faults FaultStats
+	// Overruns aggregates late losers: copies that started before the
+	// winner's cancel callback reached them — possible only under a
+	// positive ControlLatency — and therefore ran to completion as
+	// pure waste. All zero when ControlLatency is 0. (Fault-injected
+	// runs account the equivalent copies as orphans instead.)
+	Overruns OverrunStats
+}
+
+// OverrunStats aggregates the work burned by late losers under a
+// positive ControlLatency.
+type OverrunStats struct {
+	// Starts counts non-winning copies that ran to completion.
+	Starts int64
+	// CPUSeconds is the capacity they consumed (runtime x nodes).
+	CPUSeconds float64
 }
 
 // FaultStats aggregates what the fault injector actually did to a run.
@@ -240,7 +290,35 @@ type gridJob struct {
 	rec    JobRecord
 	copies []*sched.Request
 	winner *sched.Request
+	// targets lists the clusters this job submitted copies to; set
+	// only under a positive ControlLatency, where cancel broadcasts
+	// must address clusters (a copy can still be in flight when its
+	// cancel is sent, so the winner cannot enumerate gj.copies).
+	targets []int
 }
+
+// Event priorities. Local events keep the seed engine's values —
+// arrivals and completions at 0, coalesced scheduling passes at 1 —
+// but under a positive ControlLatency arrivals move to prioArrival
+// and the two cross-cluster message kinds get dedicated levels, so
+// that the relative order of a message against any local event at
+// the same instant is fixed by (time, priority) alone, never by
+// scheduling order. That property is what lets the sharded engine
+// inject boundary messages at epoch barriers and still replay the
+// sequential engine's event order bit-for-bit (DESIGN.md §12):
+//
+//   - deliveries precede same-time cancels, so a cancel always finds
+//     its copy delivered;
+//   - cancels run at 0, before the pass at 1, so all of an instant's
+//     cancels are applied before the scheduler reacts (their mutual
+//     order is then immaterial: each removes a distinct pending copy);
+//   - cancels and completions (both 0) commute: neither touches the
+//     queue, their kicks coalesce into one pass.
+const (
+	prioArrival = -2 // job arrivals when ControlLatency > 0
+	prioDeliver = -1 // remote-submit deliveries after the latency
+	prioCancel  = 0  // cancel-broadcast deliveries after the latency
+)
 
 type engine struct {
 	cfg      Config
@@ -286,10 +364,14 @@ type engine struct {
 }
 
 // Run executes one simulation and returns its result. Runs are
-// deterministic in cfg (including Seed).
+// deterministic in cfg (including Seed), and — for sharded-eligible
+// configs — identical at every Shards value.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if shardable(&cfg) {
+		return runSharded(cfg)
 	}
 	e := &engine{
 		cfg: cfg,
@@ -318,13 +400,7 @@ func Run(cfg Config) (*Result, error) {
 	// Calibrate a shared runtime scale against the reference
 	// configuration so heterogeneous clusters keep genuinely
 	// different offered loads (Table 3).
-	scale := 1.0
-	if cfg.RuntimeScale > 0 {
-		scale = cfg.RuntimeScale
-	}
-	if cfg.TargetLoad > 0 {
-		scale = calibratedScale(cfg.TargetLoad, cfg.MinRuntime, cfg.MaxRuntime)
-	}
+	scale := cfg.runtimeScale()
 
 	// Build clusters.
 	schedCfg := sched.Config{
@@ -346,52 +422,10 @@ func Run(cfg Config) (*Result, error) {
 
 	// Generate per-cluster job streams and schedule their arrivals.
 	var nextID int64
-	for i, cs := range cfg.Clusters {
-		model := workload.NewModel(cs.Nodes)
-		model.RuntimeScale = scale
-		model.EstMode = cfg.EstMode
-		if cfg.MinRuntime > 0 {
-			model.MinRuntime = cfg.MinRuntime
-		}
-		if cfg.MaxRuntime > 0 {
-			model.MaxRuntime = cfg.MaxRuntime
-		}
-		if cs.MeanIAT > 0 {
-			model.SetMeanInterarrival(cs.MeanIAT)
-		}
-		if err := model.Validate(); err != nil {
+	for i := range cfg.Clusters {
+		jobs, err := cfg.clusterJobSlice(i, scale)
+		if err != nil {
 			return nil, err
-		}
-		var jobs []workload.Job
-		if cfg.Streams != nil {
-			if len(cfg.Streams) != len(cfg.Clusters) {
-				return nil, fmt.Errorf("core: %d streams for %d clusters", len(cfg.Streams), len(cfg.Clusters))
-			}
-			jobs = cfg.Streams[i]
-			for k, j := range jobs {
-				if j.Nodes < 1 || j.Nodes > cs.Nodes {
-					return nil, fmt.Errorf("core: stream %d job %d needs %d nodes on a %d-node cluster", i, k, j.Nodes, cs.Nodes)
-				}
-				if j.Runtime <= 0 || j.Estimate < j.Runtime {
-					return nil, fmt.Errorf("core: stream %d job %d has runtime %v estimate %v", i, k, j.Runtime, j.Estimate)
-				}
-				if j.Arrival < 0 {
-					return nil, fmt.Errorf("core: stream %d job %d arrives at %v", i, k, j.Arrival)
-				}
-				if k > 0 && j.Arrival < jobs[k-1].Arrival {
-					return nil, fmt.Errorf("core: stream %d job %d arrives at %v, before job %d at %v (streams must be sorted by arrival)",
-						i, k, j.Arrival, k-1, jobs[k-1].Arrival)
-				}
-			}
-		} else {
-			streamSeed := cfg.Seed + uint64(i+1)*0x9E3779B97F4A7C15
-			key := workload.StreamKey{Model: *model, Seed: streamSeed, Horizon: cfg.Horizon}
-			jobs = cfg.Workloads.Jobs(key, func() []workload.Job {
-				return model.GenerateWindow(rng.New(streamSeed), cfg.Horizon)
-			})
-		}
-		if cfg.MaxJobsPerCluster > 0 && len(jobs) > cfg.MaxJobsPerCluster {
-			jobs = jobs[:cfg.MaxJobsPerCluster]
 		}
 		start := len(e.jobs)
 		for _, j := range jobs {
@@ -418,7 +452,7 @@ func Run(cfg Config) (*Result, error) {
 		// size of the active working set.
 		if cluster := e.jobs[start:]; len(cluster) > 0 {
 			f := &arrivalFeeder{eng: e, jobs: cluster}
-			e.sim.ScheduleFn(cluster[0].rec.Submit, 0, feederAction, f)
+			e.sim.ScheduleFn(cluster[0].rec.Submit, e.arrivalPrio(), feederAction, f)
 		}
 	}
 
@@ -431,6 +465,100 @@ func Run(cfg Config) (*Result, error) {
 	res, err := e.collect()
 	e.releaseSlabs()
 	return res, err
+}
+
+// runtimeScale resolves the run's shared runtime scale: TargetLoad
+// calibration when set, else the explicit RuntimeScale, else 1.
+func (cfg *Config) runtimeScale() float64 {
+	scale := 1.0
+	if cfg.RuntimeScale > 0 {
+		scale = cfg.RuntimeScale
+	}
+	if cfg.TargetLoad > 0 {
+		scale = calibratedScale(cfg.TargetLoad, cfg.MinRuntime, cfg.MaxRuntime)
+	}
+	return scale
+}
+
+// buildModel derives cluster i's fully configured workload model under
+// the given runtime scale.
+func (cfg *Config) buildModel(i int, scale float64) (*workload.Model, error) {
+	cs := cfg.Clusters[i]
+	model := workload.NewModel(cs.Nodes)
+	model.RuntimeScale = scale
+	model.EstMode = cfg.EstMode
+	if cfg.MinRuntime > 0 {
+		model.MinRuntime = cfg.MinRuntime
+	}
+	if cfg.MaxRuntime > 0 {
+		model.MaxRuntime = cfg.MaxRuntime
+	}
+	if cs.MeanIAT > 0 {
+		model.SetMeanInterarrival(cs.MeanIAT)
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	return model, nil
+}
+
+// streamSeed is the per-cluster generation seed; shared by the
+// sequential and sharded engines so their streams are bit-identical.
+func (cfg *Config) streamSeed(i int) uint64 {
+	return cfg.Seed + uint64(i+1)*0x9E3779B97F4A7C15
+}
+
+// validateStream checks an explicitly supplied job stream for cluster i.
+func validateStream(i int, jobs []workload.Job, nodes int) error {
+	for k, j := range jobs {
+		if j.Nodes < 1 || j.Nodes > nodes {
+			return fmt.Errorf("core: stream %d job %d needs %d nodes on a %d-node cluster", i, k, j.Nodes, nodes)
+		}
+		if j.Runtime <= 0 || j.Estimate < j.Runtime {
+			return fmt.Errorf("core: stream %d job %d has runtime %v estimate %v", i, k, j.Runtime, j.Estimate)
+		}
+		if j.Arrival < 0 {
+			return fmt.Errorf("core: stream %d job %d arrives at %v", i, k, j.Arrival)
+		}
+		if k > 0 && j.Arrival < jobs[k-1].Arrival {
+			return fmt.Errorf("core: stream %d job %d arrives at %v, before job %d at %v (streams must be sorted by arrival)",
+				i, k, j.Arrival, k-1, jobs[k-1].Arrival)
+		}
+	}
+	return nil
+}
+
+// clusterJobSlice materializes cluster i's full job stream as a slice:
+// the explicit stream when Streams is set (validated), else the
+// generated stream (through the Workloads cache when present), with
+// MaxJobsPerCluster applied. The sharded engine only uses this for
+// explicit and cached streams; generated streams it consumes lazily
+// via clusterJobSource to stay O(active jobs) in memory.
+func (cfg *Config) clusterJobSlice(i int, scale float64) ([]workload.Job, error) {
+	model, err := cfg.buildModel(i, scale)
+	if err != nil {
+		return nil, err
+	}
+	var jobs []workload.Job
+	if cfg.Streams != nil {
+		if len(cfg.Streams) != len(cfg.Clusters) {
+			return nil, fmt.Errorf("core: %d streams for %d clusters", len(cfg.Streams), len(cfg.Clusters))
+		}
+		jobs = cfg.Streams[i]
+		if err := validateStream(i, jobs, cfg.Clusters[i].Nodes); err != nil {
+			return nil, err
+		}
+	} else {
+		seed := cfg.streamSeed(i)
+		key := workload.StreamKey{Model: *model, Seed: seed, Horizon: cfg.Horizon}
+		jobs = cfg.Workloads.Jobs(key, func() []workload.Job {
+			return model.GenerateWindow(rng.New(seed), cfg.Horizon)
+		})
+	}
+	if cfg.MaxJobsPerCluster > 0 && len(jobs) > cfg.MaxJobsPerCluster {
+		jobs = jobs[:cfg.MaxJobsPerCluster]
+	}
+	return jobs, nil
 }
 
 const (
@@ -572,9 +700,19 @@ func feederAction(a any) {
 	gj := f.jobs[f.next]
 	f.next++
 	if f.next < len(f.jobs) {
-		f.eng.sim.ScheduleFn(f.jobs[f.next].rec.Submit, 0, feederAction, f)
+		f.eng.sim.ScheduleFn(f.jobs[f.next].rec.Submit, f.eng.arrivalPrio(), feederAction, f)
 	}
 	f.eng.arrive(gj)
+}
+
+// arrivalPrio is the priority of arrival events: the seed engine's 0
+// when control messages are instantaneous, prioArrival under a
+// positive ControlLatency (see the priority taxonomy above).
+func (e *engine) arrivalPrio() int {
+	if e.cfg.ControlLatency > 0 {
+		return prioArrival
+	}
+	return 0
 }
 
 // pendingSubmit carries one fault-delayed remote copy until its
@@ -588,6 +726,44 @@ type pendingSubmit struct {
 func delayedSubmitAction(a any) {
 	p := a.(*pendingSubmit)
 	p.gj.eng.deliverSubmit(p.gj, p.target)
+}
+
+// latentSubmitAction delivers a remote submit after the control-plane
+// latency. Unlike the fault-delay path there is no mootness check: a
+// winner's cancel reaches this cluster no earlier than the copy itself
+// (the cancel left at a start time >= the job's submission, on the
+// same latency), so the copy is enqueued and the in-flight broadcast
+// cancels it — or fails to, if a pass starts it first (an overrun).
+func latentSubmitAction(a any) {
+	p := a.(*pendingSubmit)
+	p.gj.eng.submitCopy(p.gj, p.target)
+}
+
+// cancelMsg is one in-flight cancel callback, addressed to the copy
+// of gj at cluster target.
+type cancelMsg struct {
+	gj     *gridJob
+	target int
+}
+
+// cancelMsgAction lands a cancel broadcast after the control-plane
+// latency. The addressed copy may already be running (then the cancel
+// fails and the copy overruns), already canceled by an earlier
+// broadcast, or gone entirely (lost to faults); only a successful
+// cancel counts a loser.
+func cancelMsgAction(a any) {
+	m := a.(*cancelMsg)
+	e := m.gj.eng
+	for _, c := range m.gj.copies {
+		if c.Cluster().Index != m.target {
+			continue
+		}
+		if c.Cluster().Cancel(c) {
+			e.cLosers.Inc()
+			e.hCancelLatency.Observe(e.sim.Now() - c.Submit)
+		}
+		return
+	}
 }
 
 // delayedCancelAction delivers a fault-delayed loser cancel. By the
@@ -634,6 +810,10 @@ func (e *engine) arrive(gj *gridJob) {
 	e.cCopies.Add(int64(len(targets)))
 	e.cCopiesRemote.Add(int64(len(targets) - 1))
 
+	lat := e.cfg.ControlLatency
+	if lat > 0 {
+		gj.targets = targets
+	}
 	gj.copies = e.newCopies(len(targets))
 	for _, t := range targets {
 		if t != home {
@@ -645,14 +825,19 @@ func (e *engine) arrive(gj *gridJob) {
 				gj.rec.Copies--
 				continue
 			} else if delay > 0 {
+				// A fault delay stacks on top of the base latency.
 				e.faults.SubmitsDelayed++
-				e.sim.ScheduleFn(e.sim.Now()+delay, 0, delayedSubmitAction, &pendingSubmit{gj: gj, target: t})
+				e.sim.ScheduleFn(e.sim.Now()+lat+delay, 0, delayedSubmitAction, &pendingSubmit{gj: gj, target: t})
 				continue
 			}
 			if _, down := e.inj.Down(t, e.sim.Now()); down {
 				e.faults.SubmitsLost++
 				e.cFSubmitsLost.Inc()
 				gj.rec.Copies--
+				continue
+			}
+			if lat > 0 {
+				e.sim.ScheduleFn(e.sim.Now()+lat, prioDeliver, latentSubmitAction, &pendingSubmit{gj: gj, target: t})
 				continue
 			}
 		}
@@ -703,6 +888,10 @@ func (e *engine) onStart(r *sched.Request) {
 	if gj == nil {
 		panic("core: start callback for unknown request")
 	}
+	if e.cfg.ControlLatency > 0 {
+		e.onStartLatent(gj, r)
+		return
+	}
 	if gj.winner != nil {
 		// With faults on, a copy whose cancel was lost or delivered
 		// late is an orphan: it kept its queue slot and now consumes
@@ -744,6 +933,52 @@ func (e *engine) onStart(r *sched.Request) {
 	}
 }
 
+// onStartLatent handles a start under a positive ControlLatency.
+// Cancels take the latency to arrive, so several copies can start
+// before hearing of each other; the winner is the lexicographically
+// least (start time, cluster index) start — the rule every shard can
+// apply locally — resolved finally at collect. Each winner-improving
+// start broadcasts cancels to the job's other target clusters. (A
+// non-improving start would only re-broadcast no-ops: the first
+// winner's cancels, sent no later, already covered every copy.)
+func (e *engine) onStartLatent(gj *gridJob, r *sched.Request) {
+	if w := gj.winner; w != nil {
+		if e.inj != nil {
+			// With faults on, any non-first start is an orphan: its
+			// cancel was lost, delayed, or simply still in flight.
+			e.faults.OrphanStarts++
+			e.faults.OrphanCPUSeconds += r.Runtime * float64(r.Nodes)
+			e.cOrphans.Inc()
+			e.hOrphanRuntime.Observe(r.Runtime)
+			return
+		}
+		if r.Start > w.Start || (r.Start == w.Start && r.Cluster().Index > w.Cluster().Index) {
+			// A late loser: it started before its cancel arrived and
+			// now runs to completion. Accounted as an overrun at
+			// collect.
+			return
+		}
+	}
+	gj.winner = r
+	lat := e.cfg.ControlLatency
+	for _, t := range gj.targets {
+		if t == r.Cluster().Index {
+			continue
+		}
+		if lost, delay := e.inj.CancelFate(); lost {
+			e.faults.CancelsLost++
+			e.cFCancelsLost.Inc()
+			continue
+		} else if delay > 0 {
+			e.faults.CancelsDelayed++
+			e.cFCancelsDelayed.Inc()
+			e.sim.ScheduleFn(e.sim.Now()+lat+delay, prioCancel, cancelMsgAction, &cancelMsg{gj: gj, target: t})
+			continue
+		}
+		e.sim.ScheduleFn(e.sim.Now()+lat, prioCancel, cancelMsgAction, &cancelMsg{gj: gj, target: t})
+	}
+}
+
 // onFinish fires when the winning copy completes.
 func (e *engine) onFinish(r *sched.Request) {
 	gj, _ := r.Owner.(*gridJob)
@@ -754,6 +989,10 @@ func (e *engine) onFinish(r *sched.Request) {
 		if e.inj != nil {
 			// An orphan ran to completion; its capacity cost was
 			// charged when it started.
+			return
+		}
+		if e.cfg.ControlLatency > 0 {
+			// An overrun completing; charged at collect.
 			return
 		}
 		panic("core: finish callback for non-winning request")
@@ -769,7 +1008,22 @@ func (e *engine) collect() (*Result, error) {
 		Events: e.sim.Processed(),
 		Faults: e.faults,
 	}
+	lat := e.cfg.ControlLatency
 	for _, gj := range e.jobs {
+		if lat > 0 && gj.winner != nil {
+			// Winner bookkeeping is deferred under ControlLatency
+			// (onStartLatent only tracks the provisional minimum).
+			gj.rec.Start = gj.winner.Start
+			gj.rec.Winner = gj.winner.Cluster().Index
+			if e.inj == nil {
+				for _, c := range gj.copies {
+					if c != gj.winner && c.State == sched.Done {
+						res.Overruns.Starts++
+						res.Overruns.CPUSeconds += c.Runtime * float64(c.Nodes)
+					}
+				}
+			}
+		}
 		if gj.winner == nil || gj.rec.End == 0 {
 			if e.cfg.StopAtHorizon {
 				res.Unfinished++
@@ -802,5 +1056,20 @@ func (e *engine) collect() (*Result, error) {
 			Stats: c.Stats(),
 		})
 	}
+	observeAll(&e.cfg, res)
 	return res, nil
+}
+
+// observeAll feeds every retained record to the configured Collector
+// (home clusters in ascending order, arrival order within each — the
+// order Jobs is assembled in) and applies DropRecords.
+func observeAll(cfg *Config, res *Result) {
+	if cfg.Collector != nil {
+		for i := range res.Jobs {
+			cfg.Collector.Observe(&res.Jobs[i])
+		}
+	}
+	if cfg.DropRecords {
+		res.Jobs = nil
+	}
 }

@@ -20,7 +20,8 @@ type Fingerprint [sha256.Size]byte
 
 // fingerprintVersion is folded into every hash so the fingerprint
 // space changes whenever the encoding below does.
-const fingerprintVersion = 1
+// v2: added ControlLatency.
+const fingerprintVersion = 2
 
 // fpWriter serializes Config fields into a hash in a fixed canonical
 // order. Every field is written as a fixed-width little-endian word,
@@ -80,6 +81,11 @@ func (cfg *Config) Fingerprint() Fingerprint {
 	w.f64(cfg.RuntimeScale)
 	w.f64(cfg.MaxRuntime)
 	w.boolean(cfg.StopAtHorizon)
+	// ControlLatency changes what Run computes; Shards deliberately
+	// does not — the sharded engine is bit-identical to the sequential
+	// one at every shard count — and Collector/DropRecords only change
+	// what is reported on the side (such runs bypass the memo anyway).
+	w.f64(cfg.ControlLatency)
 
 	// An absent plan and an empty one are byte-identical at runtime
 	// (the injector no-ops), so they share an encoding.

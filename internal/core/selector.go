@@ -71,6 +71,32 @@ func selectRemotes(src *rng.Source, sel Selection, clusters []*sched.Cluster, ho
 			eligible = append(eligible, i)
 		}
 	}
+	return pickRemotes(src, sel, eligible, clusters, want)
+}
+
+// selectRemotesSpec is selectRemotes for callers without live
+// clusters (the sharded coordinator replays the sequential engine's
+// draws before routing arrivals to shards): eligibility comes from
+// the ClusterSpecs, which carry the same node counts. SelQueueLen
+// needs live queue lengths and is unsupported — such configs never
+// shard (see shardable).
+func selectRemotesSpec(src *rng.Source, sel Selection, specs []ClusterSpec, home, nodes, want int) []int {
+	if want <= 0 {
+		return nil
+	}
+	eligible := make([]int, 0, len(specs))
+	for i, cs := range specs {
+		if i != home && cs.Nodes >= nodes {
+			eligible = append(eligible, i)
+		}
+	}
+	return pickRemotes(src, sel, eligible, nil, want)
+}
+
+// pickRemotes draws want clusters from the eligible set under the
+// selection policy. Both selectRemotes variants funnel here, so their
+// rng consumption is identical draw for draw.
+func pickRemotes(src *rng.Source, sel Selection, eligible []int, clusters []*sched.Cluster, want int) []int {
 	if len(eligible) == 0 {
 		return nil
 	}
@@ -97,6 +123,9 @@ func selectRemotes(src *rng.Source, sel Selection, clusters []*sched.Cluster, ho
 		}
 		return picked
 	case SelQueueLen:
+		if clusters == nil {
+			panic("core: SelQueueLen selection without live clusters")
+		}
 		// Shortest queues first; random tie-break via pre-shuffle.
 		src.Shuffle(len(eligible), func(i, j int) {
 			eligible[i], eligible[j] = eligible[j], eligible[i]

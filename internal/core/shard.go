@@ -1,0 +1,824 @@
+// The sharded engine: one simulation executed as per-cluster event
+// shards under an epoch-synchronized coordinator (DESIGN.md §12).
+//
+// ControlLatency is the lookahead: a cross-cluster message emitted at
+// time t is delivered at t+L, so no event fired inside the window
+// [T, T+L) can affect another shard within the same window. Each epoch
+// the coordinator picks T as the earliest pending event or arrival,
+// feeds the window's arrivals, runs every shard to T+L in parallel,
+// and then exchanges the boundary messages (cancel broadcasts) and
+// retires completed jobs. Because every cross-shard message's order
+// against local events is fixed by (time, priority) alone — see the
+// priority taxonomy in engine.go — the result is bit-identical to the
+// sequential engine's at every shard count.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"redreq/internal/des"
+	"redreq/internal/obs"
+	"redreq/internal/rng"
+	"redreq/internal/sched"
+	"redreq/internal/workload"
+)
+
+// shardable reports whether cfg can run on the sharded engine with
+// results bit-identical to the sequential engine. Ineligible configs
+// fall back silently: zero ControlLatency gives zero lookahead, fault
+// plans couple shards through the injector's single rng stream, and
+// SelQueueLen selection needs live queue lengths at arrival time.
+func shardable(cfg *Config) bool {
+	if cfg.Shards <= 1 || len(cfg.Clusters) < 2 || cfg.ControlLatency <= 0 {
+		return false
+	}
+	if cfg.Selection == SelQueueLen {
+		return false
+	}
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		return false
+	}
+	return true
+}
+
+// Jobs are identified by (home cluster, per-cluster arrival index)
+// packed into one int64, so cross-shard messages can name a job
+// without sharing pointers between goroutines.
+const arrivalIdxBits = 40
+
+func jobKey(home int, idx int64) int64 { return int64(home)<<arrivalIdxBits | idx }
+func keyHome(k int64) int              { return int(k >> arrivalIdxBits) }
+func keyIdx(k int64) int64             { return k & (1<<arrivalIdxBits - 1) }
+
+// outcome kinds. Done and canceled outcomes are reported by shards at
+// epoch barriers; running and pending describe copies still live when
+// a StopAtHorizon run is truncated (final sweep only).
+const (
+	ocDone uint8 = iota
+	ocCanceled
+	ocRunning
+	ocPending
+)
+
+// outcome is one copy's terminal report to the coordinator.
+type outcome struct {
+	key      int64
+	start    float64
+	end      float64
+	predWait float64 // Reserved - Submit; NaN when prediction was off
+	cluster  int32
+	kind     uint8
+}
+
+// cancelOut is one cancel broadcast awaiting routing at the next
+// barrier: cancel the copy of job key at cluster target, landing at at.
+type cancelOut struct {
+	at     float64
+	key    int64
+	target int32
+}
+
+// shardCluster binds one cluster to its shard, tracking the live
+// (pending or running) copies it currently holds by job key.
+type shardCluster struct {
+	sh     *shard
+	cl     *sched.Cluster
+	copies map[int64]*sched.Request
+}
+
+// shardCopy describes one copy for delivery into a shard; it rides the
+// submit event's arg slot and becomes the request's Owner.
+type shardCopy struct {
+	sc      *shardCluster
+	key     int64
+	targets []int32 // all the job's target clusters; nil for single-copy jobs
+	nodes   int
+	runtime float64
+	est     float64
+}
+
+// shardSubmitAction enqueues one copy at its cluster; it serves both
+// local arrivals (at t, prioArrival) and remote deliveries (at t+L,
+// prioDeliver).
+func shardSubmitAction(a any) {
+	c := a.(*shardCopy)
+	r := &sched.Request{JobID: c.key, Owner: c, Nodes: c.nodes, Runtime: c.runtime, Estimate: c.est}
+	c.sc.copies[c.key] = r
+	c.sc.cl.Submit(r)
+}
+
+// cancelDel is one cancel broadcast delivered into a shard.
+type cancelDel struct {
+	sc  *shardCluster
+	key int64
+}
+
+// shardCancelAction lands a cancel broadcast. The addressed copy may
+// already be running (an overrun), already canceled by an earlier
+// broadcast, or finished; only a successful cancel counts a loser.
+func shardCancelAction(a any) {
+	d := a.(*cancelDel)
+	r := d.sc.copies[d.key]
+	if r == nil || r.State != sched.Pending {
+		return
+	}
+	if d.sc.cl.Cancel(r) {
+		delete(d.sc.copies, d.key)
+		sh := d.sc.sh
+		sh.cLosers.Inc()
+		sh.hCancel.Observe(sh.sim.Now() - r.Submit)
+		sh.outcomes = append(sh.outcomes, outcome{
+			key: d.key, kind: ocCanceled, cluster: int32(d.sc.cl.Index),
+			predWait: r.Reserved - r.Submit,
+		})
+	}
+}
+
+// shardCmd tells a shard how far to run: RunBefore(limit) for a normal
+// epoch, RunUntil(limit) for the inclusive horizon truncation.
+type shardCmd struct {
+	limit     float64
+	inclusive bool
+}
+
+// shard is one event-execution lane: its own simulation clock, its
+// subset of the clusters, and the outboxes the coordinator drains at
+// each barrier.
+type shard struct {
+	eng      *shardEngine
+	sim      *des.Simulation
+	clusters []*shardCluster
+	trace    *obs.Trace
+	cLosers  *obs.Counter
+	hCancel  *obs.Histogram
+	cancels  []cancelOut
+	outcomes []outcome
+	cmds     chan shardCmd
+}
+
+func (sh *shard) loop(done chan<- struct{}) {
+	for cmd := range sh.cmds {
+		if cmd.inclusive {
+			sh.sim.RunUntil(cmd.limit)
+		} else {
+			sh.sim.RunBefore(cmd.limit)
+		}
+		done <- struct{}{}
+	}
+}
+
+// onStart queues cancel broadcasts to the job's other target clusters.
+// Unlike the sequential engine it broadcasts on every start, not just
+// winner-improving ones — a shard cannot see the global winner — but
+// the extra messages are exact no-ops: the earliest start's cancels,
+// sent no later, already covered every copy, and a second Cancel of
+// the same copy fails without counting a loser.
+func (sh *shard) onStart(r *sched.Request) {
+	c := r.Owner.(*shardCopy)
+	if len(c.targets) == 0 {
+		return
+	}
+	my := int32(c.sc.cl.Index)
+	at := sh.sim.Now() + sh.eng.cfg.ControlLatency
+	for _, t := range c.targets {
+		if t != my {
+			sh.cancels = append(sh.cancels, cancelOut{at: at, key: c.key, target: t})
+		}
+	}
+}
+
+func (sh *shard) onFinish(r *sched.Request) {
+	c := r.Owner.(*shardCopy)
+	delete(c.sc.copies, c.key)
+	sh.outcomes = append(sh.outcomes, outcome{
+		key: c.key, kind: ocDone, cluster: int32(c.sc.cl.Index),
+		start: r.Start, end: r.End, predWait: r.Reserved - r.Submit,
+	})
+}
+
+// jobSource yields one cluster's jobs in arrival order: from a
+// materialized slice (explicit streams, or generated ones shared via
+// the Workloads cache) or lazily from the workload model, which keeps
+// streamed runs O(active jobs) in memory.
+type jobSource struct {
+	jobs   []workload.Job
+	next   int
+	stream *workload.Stream
+	limit  int // MaxJobsPerCluster; 0 = unlimited
+	count  int
+	head   workload.Job
+	ok     bool
+}
+
+func (s *jobSource) advance() {
+	if s.limit > 0 && s.count >= s.limit {
+		s.ok = false
+		return
+	}
+	if s.stream != nil {
+		s.head, s.ok = s.stream.Next()
+	} else if s.next < len(s.jobs) {
+		s.head, s.ok = s.jobs[s.next], true
+		s.next++
+	} else {
+		s.ok = false
+	}
+	if s.ok {
+		s.count++
+	}
+}
+
+// drain counts and discards the remaining jobs (including the pending
+// head); used at truncation to recover full stream lengths for global
+// ID assignment and the unfinished count.
+func (s *jobSource) drain() int64 {
+	var n int64
+	for s.ok {
+		n++
+		s.advance()
+	}
+	return n
+}
+
+// feedEntry is one cluster's next arrival in the k-way merge. q
+// replays the sequential engine's event insertion order: initial
+// arrivals get q = cluster index (the setup loop's scheduling order),
+// and each pop assigns the successor the next counter value — exactly
+// when the sequential feeder would have scheduled it. Arrival events
+// are the only events at prioArrival, so (t, q) order is the
+// sequential fire order, and the redundancy draws replayed in pop
+// order consume the rng stream draw for draw identically.
+type feedEntry struct {
+	t float64
+	q uint64
+	c int32
+}
+
+type feedHeap []feedEntry
+
+func feedLess(a, b feedEntry) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.q < b.q
+}
+
+func (h *feedHeap) push(e feedEntry) {
+	s := append(*h, e)
+	i := len(s) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !feedLess(e, s[p]) {
+			break
+		}
+		s[i] = s[p]
+		i = p
+	}
+	s[i] = e
+	*h = s
+}
+
+func (h *feedHeap) pop() {
+	s := *h
+	n := len(s) - 1
+	e := s[n]
+	s = s[:n]
+	*h = s
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && feedLess(s[c+1], s[c]) {
+			c++
+		}
+		if !feedLess(s[c], e) {
+			break
+		}
+		s[i] = s[c]
+		i = c
+	}
+	s[i] = e
+}
+
+// shardFeed merges the per-cluster job streams into the global arrival
+// order and owns the run's redundancy rng stream.
+type shardFeed struct {
+	src     *rng.Source
+	sources []jobSource
+	heap    feedHeap
+	qNext   uint64
+}
+
+func newShardFeed(cfg *Config, scale float64) (*shardFeed, error) {
+	f := &shardFeed{src: rng.New(cfg.Seed ^ 0xA5A5A5A5)}
+	f.sources = make([]jobSource, len(cfg.Clusters))
+	for i := range cfg.Clusters {
+		s := &f.sources[i]
+		if cfg.Streams != nil || cfg.Workloads != nil {
+			jobs, err := cfg.clusterJobSlice(i, scale)
+			if err != nil {
+				return nil, err
+			}
+			s.jobs = jobs // cap already applied by clusterJobSlice
+		} else {
+			model, err := cfg.buildModel(i, scale)
+			if err != nil {
+				return nil, err
+			}
+			s.stream = model.Stream(rng.New(cfg.streamSeed(i)), cfg.Horizon)
+			s.limit = cfg.MaxJobsPerCluster
+		}
+		s.advance()
+		if s.ok {
+			f.heap.push(feedEntry{t: s.head.Arrival, q: uint64(i), c: int32(i)})
+		}
+	}
+	f.qNext = uint64(len(cfg.Clusters))
+	return f, nil
+}
+
+func (f *shardFeed) peek() (float64, bool) {
+	if len(f.heap) == 0 {
+		return 0, false
+	}
+	return f.heap[0].t, true
+}
+
+// winKind values for pendingJob: none, a running lex-min start, a
+// finished one.
+const (
+	winNone uint8 = iota
+	winRunning
+	winDone
+)
+
+// pendingJob is the coordinator's view of one job in flight.
+type pendingJob struct {
+	submit     float64
+	runtime    float64
+	estimate   float64
+	predWait   float64 // min over copies; +Inf until a copy reports one
+	winStart   float64
+	winEnd     float64
+	nodes      int32
+	winCluster int32
+	copies     int32
+	terminal   int32 // done + canceled outcomes seen
+	doneCount  int32
+	winKind    uint8
+	redundant  bool
+}
+
+// noteStart folds one started copy into the winner: the
+// lexicographically least (start time, cluster index), the same rule
+// the sequential engine resolves at collect. Min-folding is
+// order-independent, so outcome arrival order cannot perturb it.
+func (pj *pendingJob) noteStart(kind uint8, start float64, cluster int32, end float64) {
+	if pj.winKind == winNone || start < pj.winStart ||
+		(start == pj.winStart && cluster < pj.winCluster) {
+		pj.winKind, pj.winStart, pj.winCluster, pj.winEnd = kind, start, cluster, end
+	}
+}
+
+// clusterJobs tracks one home cluster's emitted jobs. base advances
+// only under DropRecords, where retired jobs are compacted away.
+type clusterJobs struct {
+	pend   []pendingJob
+	base   int64 // arrival index of pend[0]
+	next   int64 // arrival index of the next job to emit
+	cursor int64 // next arrival index to retire (DropRecords)
+}
+
+type shardEngine struct {
+	cfg       Config
+	res       *Result
+	feed      *shardFeed
+	shards    []*shard
+	byCluster []*shardCluster // global cluster index -> its shardCluster
+	jobs      []clusterJobs   // per home cluster
+
+	cJobs          *obs.Counter
+	cJobsRedundant *obs.Counter
+	cCopies        *obs.Counter
+	cCopiesRemote  *obs.Counter
+}
+
+// runSharded executes cfg as per-cluster shards on min(cfg.Shards,
+// clusters) goroutines. Callers guarantee shardable(cfg).
+func runSharded(cfg Config) (*Result, error) {
+	nShards := cfg.Shards
+	if nShards > len(cfg.Clusters) {
+		nShards = len(cfg.Clusters)
+	}
+	scale := cfg.runtimeScale()
+	feed, err := newShardFeed(&cfg, scale)
+	if err != nil {
+		return nil, err
+	}
+	e := &shardEngine{cfg: cfg, res: &Result{}, feed: feed}
+	if tr := cfg.Trace; tr != nil {
+		e.cJobs = tr.Counter("core.jobs")
+		e.cJobsRedundant = tr.Counter("core.jobs.redundant")
+		e.cCopies = tr.Counter("core.copies")
+		e.cCopiesRemote = tr.Counter("core.copies.remote")
+	}
+
+	schedCfg := sched.Config{
+		Alg:                   cfg.Alg,
+		DisableCancelBackfill: cfg.DisableCancelBackfill,
+		DisableCompression:    cfg.DisableCompression,
+		CompressOnCancel:      cfg.CompressOnCancel,
+		Predict:               cfg.Predict,
+	}
+	e.shards = make([]*shard, nShards)
+	for s := range e.shards {
+		sh := &shard{eng: e, sim: des.New(), cmds: make(chan shardCmd)}
+		if cfg.Trace != nil {
+			sh.trace = obs.New()
+			sh.sim.SetTrace(sh.trace)
+			sh.cLosers = sh.trace.Counter("core.cancels.losers")
+			sh.hCancel = sh.trace.Histogram("core.cancel_latency")
+		}
+		e.shards[s] = sh
+	}
+	e.byCluster = make([]*shardCluster, len(cfg.Clusters))
+	for i, cs := range cfg.Clusters {
+		sh := e.shards[i%nShards]
+		sc := schedCfg
+		sc.Nodes = cs.Nodes
+		cl := sched.NewCluster(sh.sim, fmt.Sprintf("C%d", i+1), i, sc)
+		cl.SetTrace(sh.trace)
+		cl.OnStart = sh.onStart
+		cl.OnFinish = sh.onFinish
+		scl := &shardCluster{sh: sh, cl: cl, copies: make(map[int64]*sched.Request)}
+		sh.clusters = append(sh.clusters, scl)
+		e.byCluster[i] = scl
+	}
+	e.jobs = make([]clusterJobs, len(cfg.Clusters))
+
+	done := make(chan struct{}, nShards)
+	for _, sh := range e.shards {
+		go sh.loop(done)
+	}
+	defer func() {
+		for _, sh := range e.shards {
+			close(sh.cmds)
+		}
+	}()
+
+	if err := e.run(done); err != nil {
+		return nil, err
+	}
+	return e.assemble()
+}
+
+// run is the epoch loop. Invariant entering each iteration: every
+// event strictly before the previous window's end has fired, so every
+// pending event, arrival, and routable message is at or after it —
+// which is what makes scheduling into parked shards legal.
+func (e *shardEngine) run(done chan struct{}) error {
+	lat := e.cfg.ControlLatency
+	horizon := e.cfg.Horizon
+	for {
+		t := math.Inf(1)
+		for _, sh := range e.shards {
+			if at, ok := sh.sim.Peek(); ok && at < t {
+				t = at
+			}
+		}
+		if at, ok := e.feed.peek(); ok && at < t {
+			t = at
+		}
+		if math.IsInf(t, 1) {
+			return nil // every event fired, every job emitted
+		}
+		if e.cfg.StopAtHorizon && t > horizon {
+			return nil
+		}
+		end := t + lat
+		// When the horizon falls inside this window, run it inclusively
+		// and stop: any message emitted at u in [t, horizon] lands at
+		// u+L >= t+L > horizon, so nothing that matters remains.
+		final := e.cfg.StopAtHorizon && end > horizon
+
+		for {
+			at, ok := e.feed.peek()
+			if !ok || at >= end {
+				break
+			}
+			e.emit()
+		}
+
+		running := 0
+		for _, sh := range e.shards {
+			at, ok := sh.sim.Peek()
+			if !ok {
+				continue
+			}
+			if final {
+				if at > horizon {
+					continue
+				}
+				sh.cmds <- shardCmd{limit: horizon, inclusive: true}
+			} else {
+				if at >= end {
+					continue
+				}
+				sh.cmds <- shardCmd{limit: end}
+			}
+			running++
+		}
+		for ; running > 0; running-- {
+			<-done
+		}
+
+		// Barrier: route the window's cancel broadcasts, retire
+		// reported outcomes.
+		for _, sh := range e.shards {
+			for i := range sh.cancels {
+				co := &sh.cancels[i]
+				if e.cfg.StopAtHorizon && co.at > horizon {
+					continue // would never fire
+				}
+				sc := e.byCluster[co.target]
+				sc.sh.sim.ScheduleFn(co.at, prioCancel, shardCancelAction, &cancelDel{sc: sc, key: co.key})
+			}
+			sh.cancels = sh.cancels[:0]
+		}
+		for _, sh := range e.shards {
+			for i := range sh.outcomes {
+				e.applyOutcome(&sh.outcomes[i])
+			}
+			sh.outcomes = sh.outcomes[:0]
+		}
+		if e.cfg.DropRecords {
+			for c := range e.jobs {
+				e.drainRetired(c)
+			}
+		}
+		if final {
+			return nil
+		}
+	}
+}
+
+// emit pops the next arrival off the merge, replays the sequential
+// engine's redundancy draws for it, and schedules its copies' events
+// into the target shards.
+func (e *shardEngine) emit() {
+	f := e.feed
+	top := f.heap[0]
+	home := int(top.c)
+	s := &f.sources[home]
+	job := s.head
+	s.advance()
+	f.heap.pop()
+	if s.ok {
+		f.heap.push(feedEntry{t: s.head.Arrival, q: f.qNext, c: top.c})
+		f.qNext++
+	}
+
+	cfg := &e.cfg
+	n := len(cfg.Clusters)
+	redundant := cfg.Scheme != SchemeNone && n > 1 &&
+		(cfg.RedundantFraction >= 1 || f.src.Bernoulli(cfg.RedundantFraction))
+	targets := []int{home}
+	if redundant {
+		want := cfg.Scheme.Copies(n) - 1
+		targets = append(targets, selectRemotesSpec(f.src, cfg.Selection, cfg.Clusters, home, job.Nodes, want)...)
+	}
+
+	cj := &e.jobs[home]
+	idx := cj.next
+	cj.next++
+	key := jobKey(home, idx)
+	cj.pend = append(cj.pend, pendingJob{
+		submit:    job.Arrival,
+		runtime:   job.Runtime,
+		estimate:  job.Estimate,
+		predWait:  math.Inf(1),
+		nodes:     int32(job.Nodes),
+		copies:    int32(len(targets)),
+		redundant: redundant && len(targets) > 1,
+	})
+
+	// An arrival past the horizon of a truncated run never fires in the
+	// sequential engine: its draws are consumed (above — harmlessly,
+	// the suffix of the stream), but no copies are placed.
+	if cfg.StopAtHorizon && job.Arrival > cfg.Horizon {
+		return
+	}
+
+	e.cJobs.Inc()
+	if redundant && len(targets) > 1 {
+		e.cJobsRedundant.Inc()
+	}
+	e.cCopies.Add(int64(len(targets)))
+	e.cCopiesRemote.Add(int64(len(targets) - 1))
+
+	var t32 []int32
+	if len(targets) > 1 {
+		t32 = make([]int32, len(targets))
+		for k, t := range targets {
+			t32[k] = int32(t)
+		}
+	}
+	for _, t := range targets {
+		sc := e.byCluster[t]
+		est := job.Estimate
+		if t != home && cfg.InflateRemote > 0 {
+			est *= 1 + cfg.InflateRemote
+		}
+		cp := &shardCopy{sc: sc, key: key, targets: t32, nodes: job.Nodes, runtime: job.Runtime, est: est}
+		if t == home {
+			sc.sh.sim.ScheduleFn(job.Arrival, prioArrival, shardSubmitAction, cp)
+		} else {
+			sc.sh.sim.ScheduleFn(job.Arrival+cfg.ControlLatency, prioDeliver, shardSubmitAction, cp)
+		}
+	}
+}
+
+// applyOutcome folds one copy's report into its job. Every fold is a
+// count or a min, so the order outcomes arrive in — shard order at
+// barriers, map order in the final sweep — cannot affect the result.
+func (e *shardEngine) applyOutcome(oc *outcome) {
+	cj := &e.jobs[keyHome(oc.key)]
+	pj := &cj.pend[keyIdx(oc.key)-cj.base]
+	if w := oc.predWait; !math.IsNaN(w) && w < pj.predWait {
+		pj.predWait = w
+	}
+	switch oc.kind {
+	case ocDone:
+		pj.terminal++
+		pj.doneCount++
+		pj.noteStart(winDone, oc.start, oc.cluster, oc.end)
+	case ocCanceled:
+		pj.terminal++
+	case ocRunning:
+		pj.noteStart(winRunning, oc.start, oc.cluster, 0)
+	}
+}
+
+// settle retires one job: accounts its overruns (done copies the
+// winner's cancel missed), then either returns its final record or
+// counts it unfinished. The returned record's ID is -1; retained-mode
+// assembly back-patches the global ID once stream lengths are known.
+func (e *shardEngine) settle(pj *pendingJob) (JobRecord, bool) {
+	if pj.doneCount > 0 {
+		over := int64(pj.doneCount)
+		if pj.winKind == winDone {
+			over--
+		}
+		e.res.Overruns.Starts += over
+		// Accumulate one copy at a time, the sequential engine's
+		// summation order, so the float result matches bit for bit.
+		for k := int64(0); k < over; k++ {
+			e.res.Overruns.CPUSeconds += pj.runtime * float64(pj.nodes)
+		}
+	}
+	if pj.winKind != winDone {
+		e.res.Unfinished++
+		return JobRecord{}, false
+	}
+	rec := JobRecord{
+		ID:        -1, // callers fill ID and Home
+		Redundant: pj.redundant,
+		Copies:    int(pj.copies),
+		Submit:    pj.submit,
+		Nodes:     int(pj.nodes),
+		Runtime:   pj.runtime,
+		Estimate:  pj.estimate,
+		Start:     pj.winStart,
+		End:       pj.winEnd,
+		Winner:    int(pj.winCluster),
+		Predicted: math.NaN(),
+	}
+	if e.cfg.Predict && !math.IsInf(pj.predWait, 1) {
+		rec.Predicted = pj.predWait
+	}
+	if rec.End > e.res.MakeSpan {
+		e.res.MakeSpan = rec.End
+	}
+	return rec, true
+}
+
+// drainRetired streams out cluster c's completed jobs in arrival order
+// and compacts the retired prefix away once it dominates the slice,
+// keeping DropRecords runs O(active jobs).
+func (e *shardEngine) drainRetired(c int) {
+	cj := &e.jobs[c]
+	for cj.cursor < cj.next {
+		pj := &cj.pend[cj.cursor-cj.base]
+		if pj.terminal < pj.copies {
+			break
+		}
+		if rec, ok := e.settle(pj); ok {
+			rec.Home = c
+			if e.cfg.Collector != nil {
+				e.cfg.Collector.Observe(&rec)
+			}
+		}
+		cj.cursor++
+	}
+	if k := cj.cursor - cj.base; k > 4096 && k*2 > int64(len(cj.pend)) {
+		n := copy(cj.pend, cj.pend[k:])
+		cj.pend = cj.pend[:n]
+		cj.base = cj.cursor
+	}
+}
+
+// assemble sweeps still-live copies (horizon truncation), recovers
+// full stream lengths for global IDs and the unfinished count, and
+// builds the Result.
+func (e *shardEngine) assemble() (*Result, error) {
+	res := e.res
+	for _, sh := range e.shards {
+		for _, sc := range sh.clusters {
+			for key, r := range sc.copies {
+				oc := outcome{key: key, cluster: int32(sc.cl.Index), predWait: r.Reserved - r.Submit}
+				if r.State == sched.Running {
+					oc.kind, oc.start = ocRunning, r.Start
+				} else {
+					oc.kind = ocPending
+				}
+				e.applyOutcome(&oc)
+			}
+		}
+	}
+
+	// Global IDs are block-sequential per cluster over the full stream
+	// (emitted or not), exactly as the sequential engine assigns them.
+	block := make([]int64, len(e.jobs))
+	var acc int64
+	for c := range e.jobs {
+		rem := e.feed.sources[c].drain()
+		block[c] = acc
+		acc += e.jobs[c].next + rem
+		res.Unfinished += int(rem)
+	}
+
+	if e.cfg.DropRecords {
+		for c := range e.jobs {
+			cj := &e.jobs[c]
+			for cj.cursor < cj.next {
+				pj := &cj.pend[cj.cursor-cj.base]
+				rec, ok := e.settle(pj)
+				if !ok && !e.cfg.StopAtHorizon {
+					return nil, fmt.Errorf("core: job %d never ran", block[c]+cj.cursor)
+				}
+				if ok {
+					rec.Home = c
+					if e.cfg.Collector != nil {
+						e.cfg.Collector.Observe(&rec)
+					}
+				}
+				cj.cursor++
+			}
+		}
+	} else {
+		var emitted int64
+		for c := range e.jobs {
+			emitted += e.jobs[c].next
+		}
+		res.Jobs = make([]JobRecord, 0, emitted)
+		for c := range e.jobs {
+			cj := &e.jobs[c]
+			for idx := int64(0); idx < cj.next; idx++ {
+				rec, ok := e.settle(&cj.pend[idx])
+				if !ok {
+					if !e.cfg.StopAtHorizon {
+						return nil, fmt.Errorf("core: job %d never ran", block[c]+idx)
+					}
+					continue
+				}
+				rec.ID = block[c] + idx
+				rec.Home = c
+				res.Jobs = append(res.Jobs, rec)
+			}
+		}
+		observeAll(&e.cfg, res)
+	}
+
+	for _, sc := range e.byCluster {
+		res.Clusters = append(res.Clusters, ClusterResult{
+			Name:  sc.cl.Name,
+			Nodes: sc.cl.Nodes(),
+			Stats: sc.cl.Stats(),
+		})
+	}
+	for _, sh := range e.shards {
+		res.Events += sh.sim.Processed()
+	}
+	if e.cfg.Trace != nil {
+		for _, sh := range e.shards {
+			e.cfg.Trace.Merge(sh.trace)
+		}
+	}
+	return res, nil
+}

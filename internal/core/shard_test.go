@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"redreq/internal/sched"
+)
+
+// latentConfig is smallConfig plus a control-plane latency, the
+// sharded engine's eligibility requirement.
+func latentConfig(n int, scheme Scheme, lat float64) Config {
+	cfg := smallConfig(n, scheme)
+	cfg.ControlLatency = lat
+	return cfg
+}
+
+// sameRecords fails the test unless the two job slices are bitwise
+// identical (NaN predictions normalized).
+func sameRecords(t *testing.T, label string, a, b []JobRecord) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: job counts differ: %d vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		ja, jb := a[i], b[i]
+		if math.IsNaN(ja.Predicted) && math.IsNaN(jb.Predicted) {
+			ja.Predicted, jb.Predicted = 0, 0
+		}
+		if ja != jb {
+			t.Fatalf("%s: job %d differs:\nseq:   %+v\nshard: %+v", label, i, ja, jb)
+		}
+	}
+}
+
+// sameResults compares everything except Events (the sharded engine
+// emits extra no-op cancel broadcasts, so raw event counts differ).
+func sameResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	sameRecords(t, label, a.Jobs, b.Jobs)
+	if a.MakeSpan != b.MakeSpan {
+		t.Fatalf("%s: makespan differs: %v vs %v", label, a.MakeSpan, b.MakeSpan)
+	}
+	if a.Unfinished != b.Unfinished {
+		t.Fatalf("%s: unfinished differs: %d vs %d", label, a.Unfinished, b.Unfinished)
+	}
+	if a.Overruns != b.Overruns {
+		t.Fatalf("%s: overruns differ: %+v vs %+v", label, a.Overruns, b.Overruns)
+	}
+	if len(a.Clusters) != len(b.Clusters) {
+		t.Fatalf("%s: cluster counts differ", label)
+	}
+	for i := range a.Clusters {
+		if a.Clusters[i] != b.Clusters[i] {
+			t.Fatalf("%s: cluster %d stats differ:\nseq:   %+v\nshard: %+v",
+				label, i, a.Clusters[i], b.Clusters[i])
+		}
+	}
+}
+
+func TestShardedMatchesSequential(t *testing.T) {
+	base := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"r2", func(cfg *Config) {}},
+		{"none", func(cfg *Config) { cfg.Scheme = SchemeNone }},
+		{"half", func(cfg *Config) { cfg.Scheme = SchemeHalf }},
+		{"all", func(cfg *Config) { cfg.Scheme = SchemeAll }},
+		{"biased", func(cfg *Config) { cfg.Selection = SelBiased }},
+		{"fraction", func(cfg *Config) { cfg.RedundantFraction = 0.4 }},
+		{"predict", func(cfg *Config) { cfg.Predict = true }},
+		{"inflate", func(cfg *Config) { cfg.InflateRemote = 0.5 }},
+		{"horizon", func(cfg *Config) { cfg.StopAtHorizon = true; cfg.Horizon = 1800 }},
+		{"fcfs", func(cfg *Config) { cfg.Alg = sched.FCFS }},
+		{"cbf", func(cfg *Config) { cfg.Alg = sched.CBF; cfg.Predict = true }},
+		{"biglat", func(cfg *Config) { cfg.ControlLatency = 300 }},
+	}
+	for _, tc := range base {
+		cfg := latentConfig(5, SchemeR2, 15)
+		tc.mut(&cfg)
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: sequential: %v", tc.name, err)
+		}
+		for _, shards := range []int{2, 3, 5, 8} {
+			scfg := cfg
+			scfg.Shards = shards
+			got, err := Run(scfg)
+			if err != nil {
+				t.Fatalf("%s/shards=%d: %v", tc.name, shards, err)
+			}
+			sameResults(t, tc.name+"/shards="+itoa(shards), seq, got)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return string(rune('0'+n/10)) + string(rune('0'+n%10))
+}
+
+func TestShardedFixedShardCountDeterministic(t *testing.T) {
+	cfg := latentConfig(6, SchemeHalf, 20)
+	cfg.Shards = 3
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "rerun", a, b)
+	if a.Events != b.Events {
+		t.Fatalf("event counts differ between identical sharded runs: %d vs %d", a.Events, b.Events)
+	}
+}
+
+// recordSink collects observed records, bucketed by home cluster (the
+// only ordering a Collector may rely on across shard counts).
+type recordSink struct {
+	byHome map[int][]JobRecord
+	calls  int
+}
+
+func (s *recordSink) Observe(rec *JobRecord) {
+	if s.byHome == nil {
+		s.byHome = make(map[int][]JobRecord)
+	}
+	s.byHome[rec.Home] = append(s.byHome[rec.Home], *rec)
+	s.calls++
+}
+
+func TestShardedStreamedMatchesRetained(t *testing.T) {
+	cfg := latentConfig(5, SchemeR2, 15)
+	retained, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &recordSink{}
+	scfg := cfg
+	scfg.Shards = 3
+	scfg.Collector = sink
+	scfg.DropRecords = true
+	res, err := Run(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs != nil {
+		t.Fatalf("DropRecords retained %d records", len(res.Jobs))
+	}
+	if sink.calls != len(retained.Jobs) {
+		t.Fatalf("observed %d records, want %d", sink.calls, len(retained.Jobs))
+	}
+	want := make(map[int][]JobRecord)
+	for _, j := range retained.Jobs {
+		want[j.Home] = append(want[j.Home], j)
+	}
+	for home, jobs := range want {
+		got := sink.byHome[home]
+		if len(got) != len(jobs) {
+			t.Fatalf("home %d: observed %d records, want %d", home, len(got), len(jobs))
+		}
+		for i := range jobs {
+			w, g := jobs[i], got[i]
+			if g.ID != -1 {
+				t.Fatalf("home %d job %d: streamed record has ID %d, want -1", home, i, g.ID)
+			}
+			w.ID, g.ID = 0, 0
+			if math.IsNaN(w.Predicted) && math.IsNaN(g.Predicted) {
+				w.Predicted, g.Predicted = 0, 0
+			}
+			if w != g {
+				t.Fatalf("home %d job %d differs:\nretained: %+v\nstreamed: %+v", home, i, w, g)
+			}
+		}
+	}
+}
+
+// TestShardedHandoff exercises the coordinator/shard channel handoff
+// on a config with enough epochs to matter; run under -race (make
+// check) it doubles as the data-race regression test for the barrier
+// protocol.
+func TestShardedHandoff(t *testing.T) {
+	cfg := latentConfig(8, SchemeAll, 5)
+	cfg.Horizon = 1200
+	cfg.Shards = 4
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) == 0 {
+		t.Fatal("no jobs simulated")
+	}
+}
+
+func TestShardableFallback(t *testing.T) {
+	// Zero latency: Shards must be ignored entirely (byte-identical to
+	// the sequential engine including Events).
+	cfg := smallConfig(4, SchemeR2)
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Shards = 8
+	got, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "zero-latency", seq, got)
+	if seq.Events != got.Events {
+		t.Fatalf("zero-latency fallback changed event count: %d vs %d", seq.Events, got.Events)
+	}
+
+	// Ineligible selections fall back too.
+	qcfg := latentConfig(4, SchemeR2, 10)
+	qcfg.Selection = SelQueueLen
+	if shardable(&qcfg) {
+		t.Fatal("SelQueueLen config reported shardable")
+	}
+	qcfg.Shards = 4
+	if _, err := Run(qcfg); err != nil {
+		t.Fatalf("SelQueueLen fallback: %v", err)
+	}
+}
+
+func TestOverrunsOnlyWithLatency(t *testing.T) {
+	cfg := smallConfig(4, SchemeAll)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Overruns != (OverrunStats{}) {
+		t.Fatalf("zero-latency run reported overruns: %+v", res.Overruns)
+	}
+	// A latency much longer than typical waits forces late losers.
+	lcfg := latentConfig(4, SchemeAll, 3600)
+	lres, err := Run(lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.Overruns.Starts == 0 {
+		t.Fatal("hour-long cancel latency produced no overruns")
+	}
+	if lres.Overruns.CPUSeconds <= 0 {
+		t.Fatalf("overruns with non-positive CPU seconds: %+v", lres.Overruns)
+	}
+}
+
+func TestFingerprintShardInvariance(t *testing.T) {
+	cfg := latentConfig(4, SchemeR2, 10)
+	base := cfg.Fingerprint()
+	for _, shards := range []int{1, 2, 8} {
+		c := cfg
+		c.Shards = shards
+		if c.Fingerprint() != base {
+			t.Fatalf("Shards=%d changed the fingerprint", shards)
+		}
+	}
+	c := cfg
+	c.ControlLatency = 20
+	if c.Fingerprint() == base {
+		t.Fatal("ControlLatency did not change the fingerprint")
+	}
+}

@@ -36,7 +36,9 @@ func Reports(specs []*Spec, opts Options, emit func(i int, rep *report.Report, e
 	}
 	pool := opts.Pool
 	if pool == nil {
-		pool = NewPool(opts.Workers)
+		// effectiveWorkers keeps replication-level and shard-level
+		// parallelism inside the one Workers budget.
+		pool = NewPool(opts.effectiveWorkers())
 		defer pool.Close()
 	}
 	opts.Pool = pool

@@ -61,6 +61,12 @@ type Context struct {
 	// conservation check is skipped and the ledger check includes the
 	// orphan terms.
 	Faulty bool
+	// ControlLatency is the run's cross-cluster control latency: a
+	// remote winner only becomes pending at its cluster at
+	// Submit + ControlLatency (the conservation check must not expect
+	// an in-flight copy to be runnable), and the ledger gains the
+	// overrun terms.
+	ControlLatency float64
 	// Eps is the time tolerance in seconds for floating-point
 	// comparisons; 0 means 1e-6.
 	Eps float64
@@ -69,9 +75,10 @@ type Context struct {
 // FromConfig derives the checking context for a run of cfg.
 func FromConfig(cfg *core.Config) Context {
 	ctx := Context{
-		Nodes:         make([]int, len(cfg.Clusters)),
-		StopAtHorizon: cfg.StopAtHorizon,
-		Faulty:        cfg.Faults != nil && !cfg.Faults.Empty(),
+		Nodes:          make([]int, len(cfg.Clusters)),
+		StopAtHorizon:  cfg.StopAtHorizon,
+		Faulty:         cfg.Faults != nil && !cfg.Faults.Empty(),
+		ControlLatency: cfg.ControlLatency,
 	}
 	for i, cs := range cfg.Clusters {
 		ctx.Nodes[i] = cs.Nodes
@@ -189,10 +196,12 @@ type sweepEvent struct {
 // protects the head reservation), full idleness with eligible work is
 // not, since any pending request fits an empty cluster. It needs the
 // full copy lifecycle to be visible, so it is skipped for truncated
-// and faulty runs; capacity can only be under-estimated from winner
-// records, so it is always sound to check.
+// and faulty runs, and for runs with overruns (an overrun copy runs on
+// a non-winner cluster, busying nodes invisibly to the winner records);
+// capacity can only be under-estimated from winner records, so it is
+// always sound to check.
 func (c *checker) sweep(ctx Context, res *core.Result, eps float64) {
-	conserve := !ctx.StopAtHorizon && !ctx.Faulty
+	conserve := !ctx.StopAtHorizon && !ctx.Faulty && res.Overruns.Starts == 0
 	events := make([][]sweepEvent, len(ctx.Nodes))
 	for i := range res.Jobs {
 		j := &res.Jobs[i]
@@ -204,7 +213,13 @@ func (c *checker) sweep(ctx Context, res *core.Result, eps float64) {
 			sweepEvent{t: j.Start, kind: 2, job: j.ID, n: j.Nodes},
 			sweepEvent{t: j.End, kind: 0, job: j.ID, n: j.Nodes})
 		if conserve {
-			ev = append(ev, sweepEvent{t: j.Submit, kind: 1, job: j.ID, n: j.Nodes})
+			// A remote winner's copy is in flight for ControlLatency
+			// after submission; it only joins the queue on delivery.
+			pend := j.Submit
+			if j.Winner != j.Home {
+				pend += ctx.ControlLatency
+			}
+			ev = append(ev, sweepEvent{t: pend, kind: 1, job: j.ID, n: j.Nodes})
 		}
 		events[j.Winner] = ev
 	}
@@ -255,11 +270,14 @@ func (c *checker) sweep(ctx Context, res *core.Result, eps float64) {
 // whole check is skipped for truncated runs.
 //
 //   - submitted copies  = surviving copies recorded per job
-//   - started requests  = winners + orphan starts
+//   - started requests  = winners + orphan starts + overrun starts
 //   - finished requests = started requests (everything runs to
 //     completion once started)
-//   - canceled requests = loser copies - orphan starts
-//   - scheduler busy node-seconds = useful work + orphaned work
+//   - canceled requests = loser copies - orphan starts - overruns
+//   - scheduler busy node-seconds = useful + orphaned + overrun work
+//
+// Overruns are the ControlLatency analogue of orphans: copies that
+// started before the winner's cancel landed (core.Result.Overruns).
 func (c *checker) ledger(ctx Context, res *core.Result, eps float64) {
 	if ctx.StopAtHorizon {
 		return
@@ -283,20 +301,24 @@ func (c *checker) ledger(ctx Context, res *core.Result, eps float64) {
 		useful += j.Runtime * float64(j.Nodes)
 	}
 	f := res.Faults
+	o := res.Overruns
 	if submitted != copies {
 		c.addf("ledger", -1, -1, "%d requests submitted, %d copies recorded", submitted, copies)
 	}
-	if want := len(res.Jobs) + int(f.OrphanStarts); started != want {
-		c.addf("ledger", -1, -1, "%d requests started, want %d winners + %d orphans", started, len(res.Jobs), f.OrphanStarts)
+	if want := len(res.Jobs) + int(f.OrphanStarts) + int(o.Starts); started != want {
+		c.addf("ledger", -1, -1, "%d requests started, want %d winners + %d orphans + %d overruns",
+			started, len(res.Jobs), f.OrphanStarts, o.Starts)
 	}
 	if finished != started {
 		c.addf("ledger", -1, -1, "%d finished != %d started", finished, started)
 	}
-	if want := losers - int(f.OrphanStarts); canceled != want {
-		c.addf("ledger", -1, -1, "%d requests canceled, want %d losers - %d orphans", canceled, losers, f.OrphanStarts)
+	if want := losers - int(f.OrphanStarts) - int(o.Starts); canceled != want {
+		c.addf("ledger", -1, -1, "%d requests canceled, want %d losers - %d orphans - %d overruns",
+			canceled, losers, f.OrphanStarts, o.Starts)
 	}
-	if want := useful + f.OrphanCPUSeconds; math.Abs(busy-want) > eps*(1+want) {
-		c.addf("ledger", -1, -1, "scheduler busy ledger %v node-s != useful %v + orphaned %v", busy, useful, f.OrphanCPUSeconds)
+	if want := useful + f.OrphanCPUSeconds + o.CPUSeconds; math.Abs(busy-want) > eps*(1+want) {
+		c.addf("ledger", -1, -1, "scheduler busy ledger %v node-s != useful %v + orphaned %v + overrun %v",
+			busy, useful, f.OrphanCPUSeconds, o.CPUSeconds)
 	}
 }
 
@@ -327,11 +349,44 @@ func CheckDeterminism(cfg core.Config) []Finding {
 	return c.findings
 }
 
+// CheckShardInvariance runs cfg on the sequential engine and once per
+// given shard count, comparing every Result bit-for-bit against the
+// sequential one — job records, cluster stats, makespan, unfinished
+// and overrun accounting. Only Events is exempt: the sharded engine
+// emits extra no-op cancel broadcasts, so raw event counts differ by
+// construction. This is the audit behind the Shards-excluded-from-
+// fingerprint contract.
+func CheckShardInvariance(cfg core.Config, shardCounts []int) []Finding {
+	c := &checker{}
+	seq := cfg
+	seq.Shards = 0
+	base, err := core.Run(seq)
+	if err != nil {
+		c.addf("shards", -1, -1, "sequential run failed: %v", err)
+		return c.findings
+	}
+	for _, n := range shardCounts {
+		run := cfg
+		run.Shards = n
+		got, err := core.Run(run)
+		if err != nil {
+			c.addf("shards", -1, -1, "shards=%d run failed: %v", n, err)
+			continue
+		}
+		compareResultsOpt(c, fmt.Sprintf("shards=%d", n), base, got, true)
+	}
+	return c.findings
+}
+
 // feq is bitwise float equality (NaN-safe: Predicted is NaN when
 // prediction is off, and NaN != NaN under ==).
 func feq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
 
 func compareResults(c *checker, label string, a, b *core.Result) {
+	compareResultsOpt(c, label, a, b, false)
+}
+
+func compareResultsOpt(c *checker, label string, a, b *core.Result, ignoreEvents bool) {
 	if len(a.Jobs) != len(b.Jobs) {
 		c.addf("determinism", -1, -1, "%s: %d vs %d jobs", label, len(a.Jobs), len(b.Jobs))
 		return
@@ -347,9 +402,11 @@ func compareResults(c *checker, label string, a, b *core.Result) {
 			return
 		}
 	}
-	if a.Events != b.Events || !feq(a.MakeSpan, b.MakeSpan) || a.Unfinished != b.Unfinished || a.Faults != b.Faults {
-		c.addf("determinism", -1, -1, "%s: run summary diverged (%d/%v/%d vs %d/%v/%d)",
-			label, a.Events, a.MakeSpan, a.Unfinished, b.Events, b.MakeSpan, b.Unfinished)
+	if (!ignoreEvents && a.Events != b.Events) || !feq(a.MakeSpan, b.MakeSpan) ||
+		a.Unfinished != b.Unfinished || a.Faults != b.Faults ||
+		a.Overruns.Starts != b.Overruns.Starts || !feq(a.Overruns.CPUSeconds, b.Overruns.CPUSeconds) {
+		c.addf("determinism", -1, -1, "%s: run summary diverged (%d/%v/%d/%+v vs %d/%v/%d/%+v)",
+			label, a.Events, a.MakeSpan, a.Unfinished, a.Overruns, b.Events, b.MakeSpan, b.Unfinished, b.Overruns)
 	}
 	for i := range a.Clusters {
 		if i < len(b.Clusters) && a.Clusters[i].Stats != b.Clusters[i].Stats {

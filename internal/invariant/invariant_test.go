@@ -172,3 +172,52 @@ func TestFindingString(t *testing.T) {
 		t.Fatalf("String() = %q", got)
 	}
 }
+
+// latentConfig is testConfig under a positive control latency, which
+// exercises the overrun ledger terms and the delivery-delay term of
+// the conservation sweep.
+func latentConfig() core.Config {
+	cfg := testConfig()
+	cfg.Clusters = append(cfg.Clusters, core.ClusterSpec{Nodes: 64}, core.ClusterSpec{Nodes: 64})
+	cfg.ControlLatency = 60
+	return cfg
+}
+
+func TestLatentRunPassesAllInvariants(t *testing.T) {
+	cfg := latentConfig()
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	if res.Overruns.Starts == 0 {
+		t.Fatal("latency run produced no overruns; the overrun ledger terms went unexercised")
+	}
+	if fs := Check(FromConfig(&cfg), res); len(fs) != 0 {
+		t.Fatalf("clean latency run produced findings:\n%v", fs)
+	}
+}
+
+func TestLatentLedgerDetectsTampering(t *testing.T) {
+	cfg := latentConfig()
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	res.Overruns.Starts++
+	wantFinding(t, FromConfig(&cfg), res, "ledger")
+}
+
+func TestShardInvarianceClean(t *testing.T) {
+	cfg := latentConfig()
+	if fs := CheckShardInvariance(cfg, []int{1, 2, 4, 8}); len(fs) != 0 {
+		t.Fatalf("sharded runs diverged from sequential:\n%v", fs)
+	}
+}
+
+func TestShardedDeterminismClean(t *testing.T) {
+	cfg := latentConfig()
+	cfg.Shards = 4
+	if fs := CheckDeterminism(cfg); len(fs) != 0 {
+		t.Fatalf("sharded reruns diverged:\n%v", fs)
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"testing"
+
+	"redreq/internal/core"
+	"redreq/internal/sched"
+	"redreq/internal/stats"
+	"redreq/internal/workload"
+)
+
+func percentileOracle(xs []float64, p float64) float64 { return stats.Percentile(xs, p) }
+
+func digestConfig(shards int) core.Config {
+	clusters := make([]core.ClusterSpec, 6)
+	for i := range clusters {
+		clusters[i] = core.ClusterSpec{Nodes: 32}
+	}
+	return core.Config{
+		Clusters:          clusters,
+		Alg:               sched.EASY,
+		Scheme:            core.SchemeR2,
+		RedundantFraction: 1,
+		Selection:         core.SelUniform,
+		Seed:              17,
+		Horizon:           900,
+		EstMode:           workload.Exact,
+		TargetLoad:        1.0,
+		ControlLatency:    20,
+		Shards:            shards,
+	}
+}
+
+// runDigest executes the config with a streaming DigestCollector and
+// returns the merged summary's fingerprint.
+func runDigest(t *testing.T, shards int) []float64 {
+	t.Helper()
+	cfg := digestConfig(shards)
+	dc := NewDigestCollector(0, nil)
+	cfg.Collector = dc
+	cfg.DropRecords = true
+	if _, err := core.Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	g := dc.Digest()
+	return g.Fingerprint()
+}
+
+func TestDigestShardCountInvariant(t *testing.T) {
+	base := runDigest(t, 1)
+	for _, shards := range []int{2, 3, 6} {
+		got := runDigest(t, shards)
+		if len(got) != len(base) {
+			t.Fatalf("shards=%d: fingerprint length %d, want %d", shards, len(got), len(base))
+		}
+		for i := range base {
+			if base[i] != got[i] {
+				t.Fatalf("shards=%d: fingerprint[%d] = %v, want %v", shards, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestDigestMatchesRetainedRecords(t *testing.T) {
+	cfg := digestConfig(0)
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc := NewDigestCollector(0, nil)
+	for i := range res.Jobs {
+		dc.Observe(&res.Jobs[i])
+	}
+	g := dc.Digest()
+	if g.Jobs != uint64(len(res.Jobs)) {
+		t.Fatalf("digested %d jobs, want %d", g.Jobs, len(res.Jobs))
+	}
+	// Quantiles must bracket the exact percentiles within alpha.
+	xs := Stretches(res.Jobs, nil)
+	for _, p := range []float64{50, 90, 99} {
+		got := g.Stretch.Quantile(p)
+		exact := percentileOracle(xs, p)
+		if got < exact*(1-2*DigestAlpha) || got > exact*(1+2*DigestAlpha) {
+			t.Fatalf("stretch p%v = %v, exact %v (alpha %v)", p, got, exact, DigestAlpha)
+		}
+	}
+	// A filter restricts the stream.
+	fc := NewDigestCollector(0, RedundantOnly)
+	for i := range res.Jobs {
+		fc.Observe(&res.Jobs[i])
+	}
+	fg := fc.Digest()
+	if fg.Jobs != fg.Redundant {
+		t.Fatalf("filtered digest saw %d jobs but %d redundant", fg.Jobs, fg.Redundant)
+	}
+}
