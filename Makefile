@@ -8,7 +8,7 @@ BENCH_LABEL ?= dev
 
 # Experiments recorded in results_full.txt: the registry minus sec4,
 # whose wall-clock measurements are not deterministic.
-RESULTS_EXPERIMENTS = fig12,table1,table2,fig3,table3,fig4,table4,qgrowth,inflate,loadsweep,ablations,multiq,moldable,faults,validate,trace
+RESULTS_EXPERIMENTS = fig12,table1,table2,fig3,table3,fig4,table4,qgrowth,inflate,loadsweep,ablations,multiq,moldable,faults,validate,trace,routing
 
 build:
 	$(GO) build ./...
@@ -37,7 +37,7 @@ check:
 # BenchmarkRegistryQuick), then prints the delta against the previous
 # entry. See README "Performance".
 bench:
-	$(GO) test -run=NONE -bench='SimulationCore$$|Engine|RegistryQuick$$' -benchmem . \
+	$(GO) test -run=NONE -bench='SimulationCore$$|Engine|RegistryQuick$$|Routing' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_core.json
 
 # bench-all runs every benchmark (per-table/figure experiment drivers,

@@ -183,7 +183,7 @@ func BenchmarkSimulationCore(b *testing.B) {
 	}
 	cfg := core.Config{
 		Clusters: clusters, Alg: sched.EASY, Scheme: core.SchemeAll,
-		RedundantFraction: 1, Selection: core.SelUniform,
+		RedundantFraction: 1, Routing: core.RouteUniform,
 		Horizon: 1800, EstMode: workload.Exact,
 		TargetLoad: 0.93, MinRuntime: 30, MaxRuntime: 7200,
 	}
@@ -218,7 +218,7 @@ func BenchmarkEngineSharded(b *testing.B) {
 	}
 	base := core.Config{
 		Clusters: clusters, Alg: sched.EASY, Scheme: core.SchemeR2,
-		RedundantFraction: 1, Selection: core.SelUniform,
+		RedundantFraction: 1, Routing: core.RouteUniform,
 		Horizon: 1800, EstMode: workload.Exact,
 		TargetLoad: 0.85, MinRuntime: 30, MaxRuntime: 7200,
 		ControlLatency: 60,
@@ -256,7 +256,7 @@ func BenchmarkEngine(b *testing.B) {
 	}
 	cfg := core.Config{
 		Clusters: clusters, Alg: sched.EASY, Scheme: core.SchemeAll,
-		RedundantFraction: 1, Selection: core.SelUniform,
+		RedundantFraction: 1, Routing: core.RouteUniform,
 		Horizon: 1800, EstMode: workload.Exact,
 		TargetLoad: 0.85, MinRuntime: 30, MaxRuntime: 7200,
 	}
@@ -276,6 +276,45 @@ func BenchmarkEngine(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// BenchmarkRouting measures the per-policy cost of the routing axis on
+// one platform: uniform is the no-information baseline, the informed
+// policies add the grid information service (snapshot publishes every
+// control latency plus per-decision visibility reads).
+func BenchmarkRouting(b *testing.B) {
+	clusters := make([]core.ClusterSpec, 8)
+	for i := range clusters {
+		clusters[i] = core.ClusterSpec{Nodes: 64}
+	}
+	base := core.Config{
+		Clusters: clusters, Alg: sched.EASY, Scheme: core.SchemeR2,
+		RedundantFraction: 1, Horizon: 1800, EstMode: workload.Exact,
+		TargetLoad: 0.85, MinRuntime: 30, MaxRuntime: 7200,
+		ControlLatency: 60,
+	}
+	for _, pol := range []core.Routing{
+		core.RouteUniform, core.RouteLeastQueue, core.RouteLeastWork, core.RoutePowerTwo,
+	} {
+		b.Run("policy="+pol.String(), func(b *testing.B) {
+			var jobs int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cfg := base
+				cfg.Routing = pol
+				cfg.Seed = uint64(i + 1)
+				res, err := core.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				jobs += len(res.Jobs)
+				if pol.Informed() && res.Routing.Decisions == 0 {
+					b.Fatal("informed policy made no routing decisions")
+				}
+			}
+			b.ReportMetric(float64(jobs)/b.Elapsed().Seconds(), "jobs/s")
 		})
 	}
 }

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -18,34 +19,52 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, runs the
+// measurements, and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("grambench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		clients = flag.Int("clients", 4, "concurrent clients")
-		dur     = flag.Duration("dur", 2*time.Second, "measurement window")
-		iat     = flag.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
-		items   = flag.Int("items", 30000, "records in the marshalling payload")
+		clients = fs.Int("clients", 4, "concurrent clients")
+		dur     = fs.Duration("dur", 2*time.Second, "measurement window")
+		iat     = fs.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
+		items   = fs.Int("items", 30000, "records in the marshalling payload")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2 // the flag set already printed the error and usage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "grambench: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
 
 	// (a) Raw marshalling, the gSOAP-style measurement of [20].
 	payload := middleware.NewTripleArray(*items)
 	raw, err := middleware.MarshalTriples(payload)
 	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "grambench: %v\n", err)
+		return 1
 	}
 	n := 0
 	start := time.Now()
 	for time.Since(start) < *dur {
 		b, err := middleware.MarshalTriples(payload)
 		if err != nil {
-			fail(err)
+			fmt.Fprintf(stderr, "grambench: %v\n", err)
+			return 1
 		}
 		if _, err := middleware.UnmarshalTriples(b); err != nil {
-			fail(err)
+			fmt.Fprintf(stderr, "grambench: %v\n", err)
+			return 1
 		}
 		n++
 	}
 	marshalRate := float64(n) / time.Since(start).Seconds()
-	fmt.Printf("raw marshal+unmarshal of %d-record payload (%d KB): %.1f round-trips/s\n",
+	fmt.Fprintf(stdout, "raw marshal+unmarshal of %d-record payload (%d KB): %.1f round-trips/s\n",
 		*items, len(raw)/1024, marshalRate)
 
 	// (b) Full middleware transactions.
@@ -62,17 +81,20 @@ func main() {
 	for _, m := range modes {
 		rate, err := measure(*clients, *dur, m.durable, m.security)
 		if err != nil {
-			fail(err)
+			fmt.Fprintf(stderr, "grambench: %v\n", err)
+			return 1
 		}
 		t.AddRow(m.name, report.Cell(rate.PairRate, 1), report.Cell(rate.PerSecond, 1),
 			fmt.Sprintf("%d", pbsd.LoadBound(rate.PairRate, *iat)))
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		fail(err)
+	if err := t.Render(stdout); err != nil {
+		fmt.Fprintf(stderr, "grambench: %v\n", err)
+		return 1
 	}
-	fmt.Printf("\nThe paper measures ~0.5 submit+cancel pairs/s for GT4 WS-GRAM, giving r < 3;\n")
-	fmt.Printf("the shape to check is marshalling >> middleware transactions, and the derived\n")
-	fmt.Printf("bound r < iat * pair-rate for whichever layer is slowest.\n")
+	fmt.Fprintf(stdout, "\nThe paper measures ~0.5 submit+cancel pairs/s for GT4 WS-GRAM, giving r < 3;\n")
+	fmt.Fprintf(stdout, "the shape to check is marshalling >> middleware transactions, and the derived\n")
+	fmt.Fprintf(stdout, "bound r < iat * pair-rate for whichever layer is slowest.\n")
+	return 0
 }
 
 func measure(clients int, dur time.Duration, durable, security bool) (middleware.RateResult, error) {
@@ -105,9 +127,4 @@ func measure(clients int, dur time.Duration, durable, security bool) (middleware
 	}
 	defer ep.Close()
 	return middleware.MeasureRate(ep.URL, clients, dur, durable)
-}
-
-func fail(err error) {
-	fmt.Fprintf(os.Stderr, "grambench: %v\n", err)
-	os.Exit(1)
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeRun drives one tiny measurement end to end: an in-process
+// pbsd backend behind the middleware endpoint on a loopback port, a
+// minimal payload, and a short window.
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs wall-clock measurements")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-items", "10", "-clients", "1", "-dur", "50ms"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{
+		"raw marshal+unmarshal of 10-record payload",
+		"middleware transaction throughput",
+		"in-memory",
+		"full GRAM-like (durable + message security)",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage error wrote to stdout:\n%s", out.String())
+	}
+}
+
+func TestPositionalArgsExitUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"extra"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unexpected arguments") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}

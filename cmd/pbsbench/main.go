@@ -7,6 +7,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -17,31 +18,46 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses argv, runs the saturation
+// sweep, and returns the process exit code.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pbsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		sizes   = flag.String("sizes", "", "comma-separated queue sizes (default 0,1000,2500,5000,10000,15000,20000)")
-		clients = flag.Int("clients", 4, "concurrent saturating clients")
-		dur     = flag.Duration("dur", 2*time.Second, "measurement window per queue size")
-		tcp     = flag.Bool("tcp", true, "measure through the TCP protocol (false = direct API)")
-		iat     = flag.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
-		boundQ  = flag.Int("bound", 10000, "queue size at which to evaluate the redundancy bound")
+		sizes   = fs.String("sizes", "", "comma-separated queue sizes (default 0,1000,2500,5000,10000,15000,20000)")
+		clients = fs.Int("clients", 4, "concurrent saturating clients")
+		dur     = fs.Duration("dur", 2*time.Second, "measurement window per queue size")
+		tcp     = fs.Bool("tcp", true, "measure through the TCP protocol (false = direct API)")
+		iat     = fs.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
+		boundQ  = fs.Int("bound", 10000, "queue size at which to evaluate the redundancy bound")
 	)
-	flag.Parse()
+	if err := fs.Parse(argv); err != nil {
+		return 2 // the flag set already printed the error and usage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "pbsbench: unexpected arguments: %v\n", fs.Args())
+		fs.Usage()
+		return 2
+	}
 
 	var qs []int
 	if *sizes != "" {
 		for _, f := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "pbsbench: bad size %q\n", f)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "pbsbench: bad size %q\n", f)
+				return 2
 			}
 			qs = append(qs, v)
 		}
 	}
 	results, err := pbsd.Sweep(qs, *clients, *dur, *tcp)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "pbsbench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "pbsbench: %v\n", err)
+		return 1
 	}
 	t := report.NewTable("Figure 5: daemon throughput vs queue size (maximum-churn submit + delete-head)",
 		"queue size", "pairs/s", "ops/s", "avg jobs scanned/cycle")
@@ -49,9 +65,9 @@ func main() {
 		t.AddRow(fmt.Sprintf("%d", r.QueueSize),
 			report.Cell(r.PairRate, 1), report.Cell(r.Throughput, 1), report.Cell(r.AvgScan, 0))
 	}
-	if err := t.Render(os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := t.Render(stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
 	}
 
 	// Section 4.1 bound at the requested queue size (paper: 6
@@ -67,8 +83,9 @@ func main() {
 	}
 	if at != nil {
 		bound := pbsd.LoadBound(at.PairRate, *iat)
-		fmt.Printf("\nSection 4.1 bound: at a %d-deep queue the daemon sustains %.1f submit+cancel pairs/s;\n",
+		fmt.Fprintf(stdout, "\nSection 4.1 bound: at a %d-deep queue the daemon sustains %.1f submit+cancel pairs/s;\n",
 			at.QueueSize, at.PairRate)
-		fmt.Printf("with iat = %.2f s the scheduler tolerates r < %d redundant requests per job.\n", *iat, bound)
+		fmt.Fprintf(stdout, "with iat = %.2f s the scheduler tolerates r < %d redundant requests per job.\n", *iat, bound)
 	}
+	return 0
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestSmokeRun drives one tiny saturation sweep end to end against an
+// in-process pbsd daemon, through the TCP protocol on a loopback port.
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs wall-clock measurements")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-sizes", "0,10", "-clients", "1", "-dur", "50ms", "-bound", "10"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	for _, want := range []string{
+		"Figure 5: daemon throughput vs queue size",
+		"Section 4.1 bound: at a 10-deep queue",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestSmokeRunDirectAPI covers the -tcp=false path (direct API calls,
+// no protocol layer).
+func TestSmokeRunDirectAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs wall-clock measurements")
+	}
+	var out, errb bytes.Buffer
+	args := []string{"-sizes", "0", "-clients", "1", "-dur", "50ms", "-tcp=false"}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Figure 5") {
+		t.Errorf("output missing table:\n%s", out.String())
+	}
+}
+
+func TestBadSizeExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-sizes", "10,frog"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), `bad size "frog"`) {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestBadFlagExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("usage error wrote to stdout:\n%s", out.String())
+	}
+}
+
+func TestPositionalArgsExitUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"extra"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unexpected arguments") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}

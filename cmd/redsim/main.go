@@ -45,6 +45,7 @@ import (
 	"redreq/internal/experiment"
 	"redreq/internal/obs"
 	"redreq/internal/report"
+	"redreq/internal/sched"
 )
 
 func main() {
@@ -70,6 +71,9 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		load     = fs.Float64("load", 0.45, "calibrated offered load on the reference cluster")
 		minRt    = fs.Float64("minrt", 30, "runtime floor in seconds")
 		maxRt    = fs.Float64("maxrt", 36*3600, "runtime cap in seconds")
+		routing  = fs.String("routing", "uniform", "remote-copy routing policy: uniform|biased|queuelen|leastwork|po2 (informed policies read the grid information service)")
+		ordering = fs.String("ordering", "fcfs", "local queue ordering: fcfs|sjf|aged (FCFS is the paper's setup; CBF supports only fcfs)")
+		stale    = fs.Float64("staleness", 0, "grid information service publish interval in seconds for informed routing (0 = control latency, negative = live reads)")
 		seed     = fs.Uint64("seed", 20060619, "base seed")
 		cache    = fs.String("cache", "on", "memoize identical simulation runs and job streams across experiments: on|off")
 		quiet    = fs.Bool("q", false, "suppress progress and timing output")
@@ -155,6 +159,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	opts.TargetLoad = *load
 	opts.MinRuntime = *minRt
 	opts.MaxRuntime = *maxRt
+	pol, err := core.ParseRouting(*routing)
+	if err != nil {
+		fmt.Fprintf(stderr, "redsim: %v\n", err)
+		return 2
+	}
+	opts.Routing = pol
+	ord, err := sched.ParseOrdering(*ordering)
+	if err != nil {
+		fmt.Fprintf(stderr, "redsim: %v\n", err)
+		return 2
+	}
+	opts.Ordering = ord
+	opts.Staleness = *stale
 	opts.BaseSeed = *seed
 	if *cache == "on" {
 		opts.Cache = core.NewMemo()

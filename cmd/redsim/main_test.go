@@ -21,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite the golden fixtures in testdata
 // JSON output is pinned byte-for-byte. sec4 and the wall-clock layers
 // are excluded (nondeterministic); the sweep experiments with long
 // default axes are excluded to keep the test fast.
-var goldenExperiments = []string{"table1", "table4", "fig4", "qgrowth", "inflate", "faults", "validate", "trace"}
+var goldenExperiments = []string{"table1", "table4", "fig4", "qgrowth", "inflate", "faults", "validate", "trace", "routing"}
 
 // quickArgs is the reduced-scale configuration the fixtures were
 // generated with (matches experiment.Quick()).
@@ -77,7 +77,7 @@ func TestGoldenShardFlag(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full experiments")
 	}
-	for _, name := range []string{"table1", "fig4", "validate"} {
+	for _, name := range []string{"table1", "fig4", "validate", "routing"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()
@@ -286,6 +286,27 @@ func TestCacheFlagValidation(t *testing.T) {
 		t.Errorf("exit = %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "unknown cache mode") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
+// TestBadOrderingExitsUsage rejects unknown queue orderings.
+func TestBadRoutingExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "table1", "-routing", "psychic"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown routing policy") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestBadOrderingExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "table1", "-ordering", "lifo"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown ordering") {
 		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
 	}
 }

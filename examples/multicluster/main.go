@@ -33,7 +33,7 @@ func main() {
 		Clusters:          make([]core.ClusterSpec, *n),
 		Alg:               sched.EASY,
 		RedundantFraction: 1,
-		Selection:         core.SelUniform,
+		Routing:           core.RouteUniform,
 		Seed:              *seed,
 		Horizon:           *horizon,
 		EstMode:           workload.Exact,

@@ -23,7 +23,7 @@ func main() {
 	base := core.Config{
 		Clusters:   make([]core.ClusterSpec, 10),
 		Alg:        sched.CBF,
-		Selection:  core.SelUniform,
+		Routing:    core.RouteUniform,
 		Seed:       11,
 		Horizon:    2 * 3600,
 		EstMode:    workload.Phi, // requests overestimate runtimes ~2x

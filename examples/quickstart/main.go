@@ -19,7 +19,7 @@ func main() {
 		Clusters:   []core.ClusterSpec{{Nodes: 128}},
 		Alg:        sched.EASY,
 		Scheme:     core.SchemeNone,
-		Selection:  core.SelUniform,
+		Routing:    core.RouteUniform,
 		Seed:       1,
 		Horizon:    2 * 3600, // two hours of submissions
 		EstMode:    workload.Exact,

@@ -74,14 +74,14 @@ func main() {
 	// 4. Replay both streams through identical simulations.
 	run := func(stream []workload.Job) metrics.Sample {
 		cfg := core.Config{
-			Clusters:  []core.ClusterSpec{{Nodes: nodes}},
-			Alg:       sched.EASY,
-			Scheme:    core.SchemeNone,
-			Selection: core.SelUniform,
-			Seed:      1,
-			Horizon:   horizon,
-			EstMode:   workload.Exact,
-			Streams:   [][]workload.Job{stream},
+			Clusters: []core.ClusterSpec{{Nodes: nodes}},
+			Alg:      sched.EASY,
+			Scheme:   core.SchemeNone,
+			Routing:  core.RouteUniform,
+			Seed:     1,
+			Horizon:  horizon,
+			EstMode:  workload.Exact,
+			Streams:  [][]workload.Job{stream},
 		}
 		res, err := core.Run(cfg)
 		if err != nil {

@@ -29,7 +29,7 @@ func TestRunSameSeedIdenticalTimelines(t *testing.T) {
 		"easy-all": {
 			Clusters: []ClusterSpec{{Nodes: 64}, {Nodes: 64}, {Nodes: 64}, {Nodes: 64}},
 			Alg:      sched.EASY, Scheme: SchemeAll,
-			RedundantFraction: 1, Selection: SelUniform,
+			RedundantFraction: 1, Routing: RouteUniform,
 			Horizon: 1800, EstMode: workload.Exact,
 			TargetLoad: 0.9, MinRuntime: 30, MaxRuntime: 7200,
 			Seed: 77,
@@ -40,7 +40,7 @@ func TestRunSameSeedIdenticalTimelines(t *testing.T) {
 		"cbf-contended": {
 			Clusters: []ClusterSpec{{Nodes: 32}, {Nodes: 32}, {Nodes: 32}},
 			Alg:      sched.CBF, Scheme: SchemeAll,
-			RedundantFraction: 0.4, Selection: SelUniform,
+			RedundantFraction: 0.4, Routing: RouteUniform,
 			Horizon: 1800, EstMode: workload.Phi,
 			TargetLoad: 1.1, MinRuntime: 30, MaxRuntime: 7200,
 			Predict: true, Seed: 78,
@@ -48,7 +48,7 @@ func TestRunSameSeedIdenticalTimelines(t *testing.T) {
 		"cbf-compress-on-cancel": {
 			Clusters: []ClusterSpec{{Nodes: 32}, {Nodes: 32}},
 			Alg:      sched.CBF, Scheme: SchemeAll,
-			RedundantFraction: 1, Selection: SelUniform,
+			RedundantFraction: 1, Routing: RouteUniform,
 			Horizon: 1200, EstMode: workload.Phi,
 			TargetLoad: 1.0, MinRuntime: 30, MaxRuntime: 7200,
 			CompressOnCancel: true, Seed: 79,

@@ -11,6 +11,7 @@ import (
 
 	"redreq/internal/des"
 	"redreq/internal/fault"
+	"redreq/internal/gis"
 	"redreq/internal/obs"
 	"redreq/internal/rng"
 	"redreq/internal/sched"
@@ -39,8 +40,22 @@ type Config struct {
 	// requests (Figure 4); the rest submit only locally. Use 1 to
 	// make every job redundant.
 	RedundantFraction float64
-	// Selection picks remote clusters for redundant copies.
-	Selection Selection
+	// Routing picks remote clusters for redundant copies (the policy
+	// axis formerly named Selection; the legacy names still parse).
+	Routing Routing
+	// Staleness is the publish interval in seconds of the grid
+	// information service read by informed Routing policies: every
+	// cluster publishes a load snapshot each interval, and a snapshot
+	// becomes visible ControlLatency seconds after capture. 0 defaults
+	// the interval to ControlLatency; a negative value forces live
+	// (omniscient) reads — the pre-split SelQueueLen behavior, which
+	// only the sequential engine can execute. Uninformed policies
+	// ignore it.
+	Staleness float64
+	// Ordering is the queue ordering used by every cluster's
+	// scheduler (FCFS — the paper's model — SJF, or slowdown-aged
+	// priority). CBF supports only FCFS.
+	Ordering sched.Ordering
 	// Seed drives all randomness of the run.
 	Seed uint64
 	// Horizon is the submission window in seconds (the paper
@@ -134,7 +149,8 @@ type Config struct {
 	// count — Shards is excluded from the fingerprint — so 0 or 1
 	// selects the sequential engine, and configurations the sharded
 	// engine cannot execute exactly (ControlLatency 0, active fault
-	// plans, SelQueueLen selection) silently fall back to it.
+	// plans, informed routing with live zero-staleness reads) silently
+	// fall back to it.
 	Shards int
 	// Collector, when non-nil, receives every completed job's record
 	// as a stream (see Collector), enabling reductions that do not
@@ -175,6 +191,9 @@ func (cfg *Config) Validate() error {
 	if cfg.ControlLatency < 0 {
 		return fmt.Errorf("core: negative control latency %v", cfg.ControlLatency)
 	}
+	if cfg.Alg == sched.CBF && cfg.Ordering != sched.OrderFCFS {
+		return fmt.Errorf("core: CBF supports only FCFS ordering (got %v)", cfg.Ordering)
+	}
 	if cfg.Shards < 0 {
 		return fmt.Errorf("core: negative shard count %d", cfg.Shards)
 	}
@@ -182,6 +201,21 @@ func (cfg *Config) Validate() error {
 		return err
 	}
 	return nil
+}
+
+// GISInterval resolves the effective snapshot publish interval of the
+// grid information service for this config: Staleness when positive,
+// 0 (live omniscient reads) when negative, else the ControlLatency
+// default. Only meaningful under an informed Routing policy.
+func (cfg *Config) GISInterval() float64 {
+	switch {
+	case cfg.Staleness > 0:
+		return cfg.Staleness
+	case cfg.Staleness < 0:
+		return 0
+	default:
+		return cfg.ControlLatency
+	}
 }
 
 // JobRecord is the timeline of one (grid) job after simulation.
@@ -245,6 +279,9 @@ type Result struct {
 	// pure waste. All zero when ControlLatency is 0. (Fault-injected
 	// runs account the equivalent copies as orphans instead.)
 	Overruns OverrunStats
+	// Routing summarizes the load information consumed by informed
+	// routing decisions; all zero under uninformed policies.
+	Routing RoutingStats
 }
 
 // OverrunStats aggregates the work burned by late losers under a
@@ -318,6 +355,7 @@ const (
 	prioArrival = -2 // job arrivals when ControlLatency > 0
 	prioDeliver = -1 // remote-submit deliveries after the latency
 	prioCancel  = 0  // cancel-broadcast deliveries after the latency
+	prioPublish = 2  // GIS snapshot captures, after the instant's pass settles
 )
 
 type engine struct {
@@ -331,6 +369,13 @@ type engine struct {
 	// fault hook degrades to a nil-receiver no-op.
 	inj    *fault.Injector
 	faults FaultStats
+
+	// view is what informed routing reads; gisSvc is the grid
+	// information service behind it (nil in live or uninformed mode).
+	// routing accumulates the run's RoutingStats through view.stats.
+	view    *loadView
+	gisSvc  *gis.Service
+	routing RoutingStats
 
 	// Slab allocators for the per-job object kinds. Requests, grid
 	// jobs, and copy lists all live until collect(), so carving them
@@ -409,6 +454,7 @@ func Run(cfg Config) (*Result, error) {
 		DisableCompression:    cfg.DisableCompression,
 		CompressOnCancel:      cfg.CompressOnCancel,
 		Predict:               cfg.Predict,
+		Order:                 cfg.Ordering,
 	}
 	for i, cs := range cfg.Clusters {
 		sc := schedCfg
@@ -418,6 +464,23 @@ func Run(cfg Config) (*Result, error) {
 		cl.OnStart = e.onStart
 		cl.OnFinish = e.onFinish
 		e.clusters = append(e.clusters, cl)
+	}
+
+	// Informed routing reads the grid information service — fed by a
+	// per-cluster publish chain — or, at a zero effective interval,
+	// live cluster state. Uninformed configs schedule no publish
+	// events and read nothing, leaving their event stream untouched.
+	e.view = &loadView{stats: &e.routing}
+	if cfg.Routing.Informed() {
+		if s := cfg.GISInterval(); s > 0 {
+			e.gisSvc = gis.New(len(cfg.Clusters), cfg.ControlLatency)
+			e.view.svc = e.gisSvc
+			for i := range e.clusters {
+				e.sim.ScheduleFn(0, prioPublish, publishAction, &publisher{eng: e, cluster: i, interval: s})
+			}
+		} else {
+			e.view.live = e.clusters
+		}
 	}
 
 	// Generate per-cluster job streams and schedule their arrivals.
@@ -684,6 +747,31 @@ func arriveAction(a any) {
 	gj.eng.arrive(gj)
 }
 
+// publisher periodically captures one cluster's load into the grid
+// information service. Captures run at prioPublish, after the
+// instant's coalesced scheduling pass, so each snapshot reflects the
+// settled queue; the chain rearms itself until the horizon.
+type publisher struct {
+	eng      *engine
+	cluster  int
+	interval float64
+}
+
+func publishAction(a any) {
+	p := a.(*publisher)
+	e := p.eng
+	c := e.clusters[p.cluster]
+	now := e.sim.Now()
+	e.gisSvc.Publish(p.cluster, now, gis.Load{
+		QueueLen:   c.QueueLen(),
+		QueuedWork: c.QueuedWork(),
+		FreeNodes:  c.Free(),
+	})
+	if next := now + p.interval; next <= e.cfg.Horizon {
+		e.sim.ScheduleFn(next, prioPublish, publishAction, p)
+	}
+}
+
 // arrivalFeeder walks one cluster's job stream in arrival order,
 // keeping a single pending arrival event per cluster.
 type arrivalFeeder struct {
@@ -799,7 +887,7 @@ func (e *engine) arrive(gj *gridJob) {
 	targets := []int{home}
 	if redundant {
 		want := e.cfg.Scheme.Copies(n) - 1
-		targets = append(targets, selectRemotes(e.src, e.cfg.Selection, e.clusters, home, gj.rec.Nodes, want)...)
+		targets = append(targets, selectRemotes(e.src, e.cfg.Routing, e.cfg.Clusters, home, gj.rec.Nodes, want, e.view, e.sim.Now())...)
 	}
 	gj.rec.Redundant = redundant && len(targets) > 1
 	gj.rec.Copies = len(targets)
@@ -1004,9 +1092,10 @@ func (e *engine) onFinish(r *sched.Request) {
 // ran exactly once.
 func (e *engine) collect() (*Result, error) {
 	res := &Result{
-		Jobs:   make([]JobRecord, 0, len(e.jobs)),
-		Events: e.sim.Processed(),
-		Faults: e.faults,
+		Jobs:    make([]JobRecord, 0, len(e.jobs)),
+		Events:  e.sim.Processed(),
+		Faults:  e.faults,
+		Routing: e.routing,
 	}
 	lat := e.cfg.ControlLatency
 	for _, gj := range e.jobs {

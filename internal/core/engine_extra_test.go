@@ -15,12 +15,12 @@ func TestStreamsReplay(t *testing.T) {
 		{Arrival: 3, Nodes: 1, Runtime: 10, Estimate: 10},
 	}
 	cfg := Config{
-		Clusters:  []ClusterSpec{{Nodes: 32}},
-		Alg:       sched.EASY,
-		Scheme:    SchemeNone,
-		Selection: SelUniform,
-		Horizon:   100,
-		Streams:   [][]workload.Job{stream},
+		Clusters: []ClusterSpec{{Nodes: 32}},
+		Alg:      sched.EASY,
+		Scheme:   SchemeNone,
+		Routing:  RouteUniform,
+		Horizon:  100,
+		Streams:  [][]workload.Job{stream},
 	}
 	res, err := Run(cfg)
 	if err != nil {
@@ -44,10 +44,10 @@ func TestStreamsReplay(t *testing.T) {
 
 func TestStreamsValidation(t *testing.T) {
 	base := Config{
-		Clusters:  []ClusterSpec{{Nodes: 16}},
-		Alg:       sched.EASY,
-		Selection: SelUniform,
-		Horizon:   100,
+		Clusters: []ClusterSpec{{Nodes: 16}},
+		Alg:      sched.EASY,
+		Routing:  RouteUniform,
+		Horizon:  100,
 	}
 	cases := [][][]workload.Job{
 		{{{Arrival: 1, Nodes: 32, Runtime: 10, Estimate: 10}}}, // too wide
@@ -119,7 +119,7 @@ func TestInflateRemoteKeepsLocalExact(t *testing.T) {
 
 func TestQueueLenSelectionRuns(t *testing.T) {
 	cfg := smallConfig(4, SchemeR2)
-	cfg.Selection = SelQueueLen
+	cfg.Routing = RouteLeastQueue
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)

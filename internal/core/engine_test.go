@@ -20,7 +20,7 @@ func smallConfig(n int, scheme Scheme) Config {
 		Alg:               sched.EASY,
 		Scheme:            scheme,
 		RedundantFraction: 1,
-		Selection:         SelUniform,
+		Routing:           RouteUniform,
 		Seed:              42,
 		Horizon:           600, // 10 minutes of submissions
 		EstMode:           workload.Exact,
@@ -186,7 +186,7 @@ func TestHeterogeneousNodeCaps(t *testing.T) {
 			{Nodes: 16, MeanIAT: 4}, {Nodes: 256, MeanIAT: 8}, {Nodes: 64, MeanIAT: 12},
 		},
 		Alg: sched.EASY, Scheme: SchemeAll, RedundantFraction: 1,
-		Selection: SelUniform, Seed: 7, Horizon: 600,
+		Routing: RouteUniform, Seed: 7, Horizon: 600,
 		EstMode: workload.Exact, TargetLoad: 1.0,
 	}
 	res, err := Run(cfg)

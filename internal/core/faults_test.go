@@ -16,7 +16,7 @@ func faultCfg(plan *fault.Plan) Config {
 	return Config{
 		Clusters: []ClusterSpec{{Nodes: 32}, {Nodes: 32}, {Nodes: 32}, {Nodes: 32}},
 		Alg:      sched.EASY, Scheme: SchemeAll,
-		RedundantFraction: 1, Selection: SelUniform,
+		RedundantFraction: 1, Routing: RouteUniform,
 		Horizon: 1800, EstMode: workload.Exact,
 		TargetLoad: 0.9, MinRuntime: 30, MaxRuntime: 7200,
 		Seed:   4242,

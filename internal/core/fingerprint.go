@@ -21,7 +21,9 @@ type Fingerprint [sha256.Size]byte
 // fingerprintVersion is folded into every hash so the fingerprint
 // space changes whenever the encoding below does.
 // v2: added ControlLatency.
-const fingerprintVersion = 2
+// v3: Selection became Routing (same word position); added Staleness
+// and Ordering.
+const fingerprintVersion = 3
 
 // fpWriter serializes Config fields into a hash in a fixed canonical
 // order. Every field is written as a fixed-width little-endian word,
@@ -66,7 +68,7 @@ func (cfg *Config) Fingerprint() Fingerprint {
 	w.i64(int64(cfg.Alg))
 	w.i64(int64(cfg.Scheme))
 	w.f64(cfg.RedundantFraction)
-	w.i64(int64(cfg.Selection))
+	w.i64(int64(cfg.Routing))
 	w.u64(cfg.Seed)
 	w.f64(cfg.Horizon)
 	w.i64(int64(cfg.EstMode))
@@ -86,6 +88,8 @@ func (cfg *Config) Fingerprint() Fingerprint {
 	// one at every shard count — and Collector/DropRecords only change
 	// what is reported on the side (such runs bypass the memo anyway).
 	w.f64(cfg.ControlLatency)
+	w.f64(cfg.Staleness)
+	w.i64(int64(cfg.Ordering))
 
 	// An absent plan and an empty one are byte-identical at runtime
 	// (the injector no-ops), so they share an encoding.

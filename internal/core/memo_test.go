@@ -17,7 +17,7 @@ func memoTestConfig() Config {
 	return Config{
 		Clusters: []ClusterSpec{{Nodes: 32}, {Nodes: 32}},
 		Alg:      sched.EASY, Scheme: SchemeR2, RedundantFraction: 1,
-		Selection: SelUniform, Seed: 7, Horizon: 900,
+		Routing: RouteUniform, Seed: 7, Horizon: 900,
 		EstMode: workload.Exact, TargetLoad: 0.45,
 		MinRuntime: 30, MaxRuntime: 7200,
 	}
@@ -40,7 +40,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"Alg":                   func(c *Config) { c.Alg = sched.CBF },
 		"Scheme":                func(c *Config) { c.Scheme = SchemeAll },
 		"RedundantFraction":     func(c *Config) { c.RedundantFraction = 0.5 },
-		"Selection":             func(c *Config) { c.Selection = SelBiased },
+		"Selection":             func(c *Config) { c.Routing = RouteBiased },
 		"Seed":                  func(c *Config) { c.Seed = 8 },
 		"Horizon":               func(c *Config) { c.Horizon = 1800 },
 		"EstMode":               func(c *Config) { c.EstMode = workload.Phi },
@@ -230,7 +230,7 @@ func TestMemoStreamsBypass(t *testing.T) {
 	m := NewMemo()
 	cfg := Config{
 		Clusters: []ClusterSpec{{Nodes: 8}},
-		Alg:      sched.EASY, Scheme: SchemeNone, Selection: SelUniform,
+		Alg:      sched.EASY, Scheme: SchemeNone, Routing: RouteUniform,
 		Horizon: 100, EstMode: workload.Exact,
 		Streams: [][]workload.Job{{{Arrival: 1, Nodes: 1, Runtime: 10, Estimate: 10}}},
 	}

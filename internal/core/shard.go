@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"redreq/internal/des"
+	"redreq/internal/gis"
 	"redreq/internal/obs"
 	"redreq/internal/rng"
 	"redreq/internal/sched"
@@ -28,12 +29,15 @@ import (
 // results bit-identical to the sequential engine. Ineligible configs
 // fall back silently: zero ControlLatency gives zero lookahead, fault
 // plans couple shards through the injector's single rng stream, and
-// SelQueueLen selection needs live queue lengths at arrival time.
+// informed routing at a zero effective staleness interval reads live
+// queue state at arrival time — only snapshot-fed informed routing
+// (GISInterval > 0) shards, because every read then depends solely on
+// snapshots published in earlier epochs.
 func shardable(cfg *Config) bool {
 	if cfg.Shards <= 1 || len(cfg.Clusters) < 2 || cfg.ControlLatency <= 0 {
 		return false
 	}
-	if cfg.Selection == SelQueueLen {
+	if cfg.Routing.Informed() && cfg.GISInterval() <= 0 {
 		return false
 	}
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
@@ -135,6 +139,45 @@ func shardCancelAction(a any) {
 	}
 }
 
+// pubOut is one captured load snapshot awaiting transfer into the
+// coordinator's grid information service at the next barrier. A
+// snapshot captured at p is visible from p+L, and the coordinator
+// only reads at arrival times t < T+L of the epoch after the one that
+// captured it — visibility requires p <= t-L < T, so every snapshot a
+// read needs has already crossed a barrier.
+type pubOut struct {
+	at      float64
+	cluster int32
+	load    gis.Load
+}
+
+// shardPublisher periodically captures one cluster's load into its
+// shard's pubs outbox: the sharded counterpart of the sequential
+// engine's publisher, firing at the same instants and priority.
+type shardPublisher struct {
+	sc       *shardCluster
+	interval float64
+	horizon  float64
+}
+
+func shardPublishAction(a any) {
+	p := a.(*shardPublisher)
+	sh := p.sc.sh
+	now := sh.sim.Now()
+	sh.pubs = append(sh.pubs, pubOut{
+		at:      now,
+		cluster: int32(p.sc.cl.Index),
+		load: gis.Load{
+			QueueLen:   p.sc.cl.QueueLen(),
+			QueuedWork: p.sc.cl.QueuedWork(),
+			FreeNodes:  p.sc.cl.Free(),
+		},
+	})
+	if next := now + p.interval; next <= p.horizon {
+		sh.sim.ScheduleFn(next, prioPublish, shardPublishAction, p)
+	}
+}
+
 // shardCmd tells a shard how far to run: RunBefore(limit) for a normal
 // epoch, RunUntil(limit) for the inclusive horizon truncation.
 type shardCmd struct {
@@ -154,6 +197,7 @@ type shard struct {
 	hCancel  *obs.Histogram
 	cancels  []cancelOut
 	outcomes []outcome
+	pubs     []pubOut
 	cmds     chan shardCmd
 }
 
@@ -403,6 +447,12 @@ type shardEngine struct {
 	byCluster []*shardCluster // global cluster index -> its shardCluster
 	jobs      []clusterJobs   // per home cluster
 
+	// gisSvc is the coordinator's grid information service, fed from
+	// shard pubs outboxes at barriers; view is what emit's informed
+	// routing reads. Both nil under uninformed policies.
+	gisSvc *gis.Service
+	view   *loadView
+
 	cJobs          *obs.Counter
 	cJobsRedundant *obs.Counter
 	cCopies        *obs.Counter
@@ -435,6 +485,7 @@ func runSharded(cfg Config) (*Result, error) {
 		DisableCompression:    cfg.DisableCompression,
 		CompressOnCancel:      cfg.CompressOnCancel,
 		Predict:               cfg.Predict,
+		Order:                 cfg.Ordering,
 	}
 	e.shards = make([]*shard, nShards)
 	for s := range e.shards {
@@ -461,6 +512,21 @@ func runSharded(cfg Config) (*Result, error) {
 		e.byCluster[i] = scl
 	}
 	e.jobs = make([]clusterJobs, len(cfg.Clusters))
+
+	if cfg.Routing.Informed() {
+		s := cfg.GISInterval()
+		if s <= 0 {
+			// Unreachable through Run (shardable excludes it); kept as a
+			// returned error so a future caller cannot reach the old
+			// "selection without live clusters" panic.
+			return nil, fmt.Errorf("core: informed routing with live (zero-staleness) reads requires the sequential engine; set Staleness > 0 or Shards <= 1")
+		}
+		e.gisSvc = gis.New(len(cfg.Clusters), cfg.ControlLatency)
+		e.view = &loadView{svc: e.gisSvc, stats: &e.res.Routing}
+		for _, sc := range e.byCluster {
+			sc.sh.sim.ScheduleFn(0, prioPublish, shardPublishAction, &shardPublisher{sc: sc, interval: s, horizon: cfg.Horizon})
+		}
+	}
 
 	done := make(chan struct{}, nShards)
 	for _, sh := range e.shards {
@@ -538,8 +604,17 @@ func (e *shardEngine) run(done chan struct{}) error {
 			<-done
 		}
 
-		// Barrier: route the window's cancel broadcasts, retire
-		// reported outcomes.
+		// Barrier: publish the window's load snapshots, route its
+		// cancel broadcasts, retire reported outcomes.
+		if e.gisSvc != nil {
+			for _, sh := range e.shards {
+				for i := range sh.pubs {
+					p := &sh.pubs[i]
+					e.gisSvc.Publish(int(p.cluster), p.at, p.load)
+				}
+				sh.pubs = sh.pubs[:0]
+			}
+		}
 		for _, sh := range e.shards {
 			for i := range sh.cancels {
 				co := &sh.cancels[i]
@@ -586,12 +661,22 @@ func (e *shardEngine) emit() {
 
 	cfg := &e.cfg
 	n := len(cfg.Clusters)
+	post := cfg.StopAtHorizon && job.Arrival > cfg.Horizon
 	redundant := cfg.Scheme != SchemeNone && n > 1 &&
 		(cfg.RedundantFraction >= 1 || f.src.Bernoulli(cfg.RedundantFraction))
 	targets := []int{home}
 	if redundant {
 		want := cfg.Scheme.Copies(n) - 1
-		targets = append(targets, selectRemotesSpec(f.src, cfg.Selection, cfg.Clusters, home, job.Nodes, want)...)
+		// Post-horizon arrivals replay the draws silently: the
+		// sequential engine never fires them, so their reads must not
+		// touch the run's RoutingStats.
+		if e.view != nil {
+			e.view.silent = post
+		}
+		targets = append(targets, selectRemotes(f.src, cfg.Routing, cfg.Clusters, home, job.Nodes, want, e.view, job.Arrival)...)
+		if e.view != nil {
+			e.view.silent = false
+		}
 	}
 
 	cj := &e.jobs[home]
@@ -611,7 +696,7 @@ func (e *shardEngine) emit() {
 	// An arrival past the horizon of a truncated run never fires in the
 	// sequential engine: its draws are consumed (above — harmlessly,
 	// the suffix of the stream), but no copies are placed.
-	if cfg.StopAtHorizon && job.Arrival > cfg.Horizon {
+	if post {
 		return
 	}
 

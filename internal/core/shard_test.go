@@ -67,7 +67,7 @@ func TestShardedMatchesSequential(t *testing.T) {
 		{"none", func(cfg *Config) { cfg.Scheme = SchemeNone }},
 		{"half", func(cfg *Config) { cfg.Scheme = SchemeHalf }},
 		{"all", func(cfg *Config) { cfg.Scheme = SchemeAll }},
-		{"biased", func(cfg *Config) { cfg.Selection = SelBiased }},
+		{"biased", func(cfg *Config) { cfg.Routing = RouteBiased }},
 		{"fraction", func(cfg *Config) { cfg.RedundantFraction = 0.4 }},
 		{"predict", func(cfg *Config) { cfg.Predict = true }},
 		{"inflate", func(cfg *Config) { cfg.InflateRemote = 0.5 }},
@@ -215,15 +215,48 @@ func TestShardableFallback(t *testing.T) {
 		t.Fatalf("zero-latency fallback changed event count: %d vs %d", seq.Events, got.Events)
 	}
 
-	// Ineligible selections fall back too.
+	// Informed routing over snapshots shards; the same policy with
+	// live (zero-staleness) reads falls back to the sequential engine.
 	qcfg := latentConfig(4, SchemeR2, 10)
-	qcfg.Selection = SelQueueLen
-	if shardable(&qcfg) {
-		t.Fatal("SelQueueLen config reported shardable")
-	}
+	qcfg.Routing = RouteLeastQueue
 	qcfg.Shards = 4
-	if _, err := Run(qcfg); err != nil {
-		t.Fatalf("SelQueueLen fallback: %v", err)
+	if !shardable(&qcfg) {
+		t.Fatal("snapshot-fed informed routing reported unshardable")
+	}
+	seq2 := qcfg
+	seq2.Shards = 1
+	qres, err := Run(qcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := Run(seq2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResults(t, "informed-sharded", sres, qres)
+	if sres.Routing != qres.Routing {
+		t.Fatalf("routing stats diverged: %+v vs %+v", sres.Routing, qres.Routing)
+	}
+
+	live := qcfg
+	live.Staleness = -1 // live reads: sequential-only
+	if shardable(&live) {
+		t.Fatal("live-read informed routing reported shardable")
+	}
+	if _, err := Run(live); err != nil {
+		t.Fatalf("live-read fallback: %v", err)
+	}
+}
+
+// runSharded refuses informed routing with live reads even if called
+// directly, bypassing the shardable() gate in Run.
+func TestRunShardedRejectsLiveInformedRouting(t *testing.T) {
+	cfg := latentConfig(4, SchemeR2, 10)
+	cfg.Routing = RouteLeastQueue
+	cfg.Staleness = -1
+	cfg.Shards = 4
+	if _, err := runSharded(cfg); err == nil {
+		t.Fatal("runSharded accepted live-read informed routing")
 	}
 }
 

@@ -194,7 +194,7 @@ var ablationToggles = []struct {
 		cfg.Alg = sched.CBF
 		cfg.CompressOnCancel = true
 	}},
-	{"queue-length-aware selection", func(cfg *core.Config) { cfg.Selection = core.SelQueueLen }},
+	{"queue-length-aware selection", func(cfg *core.Config) { cfg.Routing = core.RouteLeastQueue }},
 }
 
 // ablationVariants builds the flattened toggle matrix: a (NONE, HALF)

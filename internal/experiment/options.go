@@ -51,6 +51,19 @@ type Options struct {
 	TargetLoad float64
 	MinRuntime float64
 	MaxRuntime float64
+	// Routing is the remote-copy routing policy for experiments that
+	// do not pin their own (default uniform, the paper's setup);
+	// core.ParseRouting names. Specs that study a particular policy
+	// (table2's bias, the routing matrix) override it per variant.
+	Routing core.Routing
+	// Ordering is the local queue ordering every cluster runs under
+	// (default FCFS, the paper's setup); sched.ParseOrdering names.
+	Ordering sched.Ordering
+	// Staleness is the grid information service publish interval in
+	// seconds for informed routing policies: 0 defaults to the control
+	// latency, negative means live zero-staleness reads (see
+	// core.Config.Staleness).
+	Staleness float64
 	// Sweep overrides a sweep experiment's default x-positions
 	// (platform sizes for fig12, interarrival times for fig3,
 	// redundant fractions for fig4, offered loads for loadsweep).
@@ -148,7 +161,9 @@ func (o Options) base(n int) core.Config {
 		Alg:               sched.EASY,
 		Scheme:            core.SchemeNone,
 		RedundantFraction: 1,
-		Selection:         core.SelUniform,
+		Routing:           o.Routing,
+		Ordering:          o.Ordering,
+		Staleness:         o.Staleness,
 		Horizon:           o.Horizon,
 		EstMode:           workload.Exact,
 		TargetLoad:        o.TargetLoad,

@@ -269,7 +269,7 @@ func table2Variants(opts Options) []variant {
 	for _, s := range table2Schemes {
 		cfg := opts.base(n)
 		cfg.Scheme = s
-		cfg.Selection = core.SelBiased
+		cfg.Routing = core.RouteBiased
 		vs = append(vs, variant{Name: s.String(), Config: cfg})
 	}
 	return vs

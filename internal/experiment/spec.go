@@ -90,6 +90,7 @@ var specs = []*Spec{
 	faultsSpec,
 	validateSpec,
 	traceSpec,
+	routingSpec,
 }
 
 // All returns every registered experiment in execution order.

@@ -289,7 +289,7 @@ func runTwinSuite(opts Options, reps int) (*report.Table, []invariant.Finding, e
 				Alg:               sched.FCFS,
 				Scheme:            tc.scheme,
 				RedundantFraction: 1,
-				Selection:         core.SelUniform,
+				Routing:           core.RouteUniform,
 				Seed:              seed,
 				Horizon:           twinHorizon,
 				EstMode:           workload.Exact,

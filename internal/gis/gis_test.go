@@ -1,0 +1,71 @@
+package gis
+
+import "testing"
+
+func TestVisibilityDelay(t *testing.T) {
+	s := New(2, 60)
+	if _, ok := s.Visible(0, 1000); ok {
+		t.Fatal("snapshot visible before any publish")
+	}
+	s.Publish(0, 0, Load{QueueLen: 3})
+	if _, ok := s.Visible(0, 59); ok {
+		t.Fatal("snapshot visible before the delay elapsed")
+	}
+	snap, ok := s.Visible(0, 60)
+	if !ok || snap.At != 0 || snap.Load.QueueLen != 3 {
+		t.Fatalf("Visible(0, 60) = %+v, %v", snap, ok)
+	}
+}
+
+func TestNewestVisibleWins(t *testing.T) {
+	s := New(1, 10)
+	s.Publish(0, 0, Load{QueueLen: 1})
+	s.Publish(0, 5, Load{QueueLen: 2})
+	s.Publish(0, 100, Load{QueueLen: 3})
+	snap, ok := s.Visible(0, 20)
+	if !ok || snap.Load.QueueLen != 2 {
+		t.Fatalf("at t=20 want the t=5 snapshot, got %+v, %v", snap, ok)
+	}
+	snap, ok = s.Visible(0, 110)
+	if !ok || snap.Load.QueueLen != 3 {
+		t.Fatalf("at t=110 want the t=100 snapshot, got %+v, %v", snap, ok)
+	}
+	// Monotone reads: the cursor never retreats, and re-reading the
+	// same instant returns the same snapshot.
+	snap, ok = s.Visible(0, 110)
+	if !ok || snap.Load.QueuedWork != 0 || snap.Load.QueueLen != 3 {
+		t.Fatalf("re-read diverged: %+v, %v", snap, ok)
+	}
+}
+
+func TestClustersIndependent(t *testing.T) {
+	s := New(2, 0)
+	s.Publish(1, 7, Load{QueueLen: 9})
+	if _, ok := s.Visible(0, 100); ok {
+		t.Fatal("cluster 0 sees cluster 1's snapshot")
+	}
+	snap, ok := s.Visible(1, 7)
+	if !ok || snap.Load.QueueLen != 9 {
+		t.Fatalf("cluster 1 read = %+v, %v", snap, ok)
+	}
+}
+
+func TestPublishOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order publish accepted")
+		}
+	}()
+	s := New(1, 0)
+	s.Publish(0, 10, Load{})
+	s.Publish(0, 5, Load{})
+}
+
+func TestZeroDelayVisibleImmediately(t *testing.T) {
+	s := New(1, 0)
+	s.Publish(0, 42, Load{FreeNodes: 4})
+	snap, ok := s.Visible(0, 42)
+	if !ok || snap.Load.FreeNodes != 4 {
+		t.Fatalf("zero-delay read = %+v, %v", snap, ok)
+	}
+}

@@ -22,7 +22,8 @@ import (
 // Finding is one detected invariant violation.
 type Finding struct {
 	// Invariant names the violated property: "causality", "liveness",
-	// "capacity", "conservation", "ledger", or "determinism".
+	// "capacity", "conservation", "ledger", "eligibility", "staleness",
+	// or "determinism".
 	Invariant string
 	// Job is the offending job ID, or -1 when the finding is not
 	// job-scoped; Cluster likewise.
@@ -67,6 +68,15 @@ type Context struct {
 	// an in-flight copy to be runnable), and the ledger gains the
 	// overrun terms.
 	ControlLatency float64
+	// Informed marks a run routed by an informed policy over the grid
+	// information service, enabling the staleness audit below.
+	Informed bool
+	// GISInterval is the effective snapshot publish interval (see
+	// core.Config.GISInterval) and GISDelay the propagation delay (the
+	// control latency): no routing decision may have read a snapshot
+	// older than GISInterval + GISDelay.
+	GISInterval float64
+	GISDelay    float64
 	// Eps is the time tolerance in seconds for floating-point
 	// comparisons; 0 means 1e-6.
 	Eps float64
@@ -79,6 +89,9 @@ func FromConfig(cfg *core.Config) Context {
 		StopAtHorizon:  cfg.StopAtHorizon,
 		Faulty:         cfg.Faults != nil && !cfg.Faults.Empty(),
 		ControlLatency: cfg.ControlLatency,
+		Informed:       cfg.Routing.Informed() && cfg.GISInterval() > 0 && cfg.Streams == nil,
+		GISInterval:    cfg.GISInterval(),
+		GISDelay:       cfg.ControlLatency,
 	}
 	for i, cs := range cfg.Clusters {
 		ctx.Nodes[i] = cs.Nodes
@@ -116,6 +129,8 @@ func Check(ctx Context, res *core.Result) []Finding {
 	c.liveness(ctx, res)
 	c.sweep(ctx, res, eps)
 	c.ledger(ctx, res, eps)
+	c.eligibility(ctx, res)
+	c.staleness(ctx, res, eps)
 	if c.truncated > 0 {
 		c.findings = append(c.findings, Finding{
 			Invariant: "truncated", Job: -1, Cluster: -1,
@@ -265,6 +280,56 @@ func (c *checker) sweep(ctx Context, res *core.Result, eps float64) {
 	}
 }
 
+// eligibility checks that copies only went to clusters that could run
+// them. Per-copy placements are not recorded, but the copy count bounds
+// them: a non-redundant job has exactly its home copy (and must win at
+// home), and a redundant job can hold at most one copy per eligible
+// remote cluster (large enough, not home) plus the home copy — and, in
+// a fault-free run with at least one eligible remote, at least two
+// (every routing policy sends to every eligible remote the scheme asks
+// for before clamping).
+func (c *checker) eligibility(ctx Context, res *core.Result) {
+	for i := range res.Jobs {
+		j := &res.Jobs[i]
+		if !j.Redundant {
+			if j.Copies != 1 || j.Winner != j.Home {
+				c.addf("eligibility", j.ID, j.Winner, "non-redundant job with %d copies, winner %d, home %d",
+					j.Copies, j.Winner, j.Home)
+			}
+			continue
+		}
+		eligible := 0
+		for ci, n := range ctx.Nodes {
+			if ci != j.Home && n >= j.Nodes {
+				eligible++
+			}
+		}
+		if j.Copies > 1+eligible {
+			c.addf("eligibility", j.ID, -1, "%d copies with only %d eligible remote cluster(s)",
+				j.Copies, eligible)
+		}
+		if !ctx.Faulty && eligible > 0 && j.Copies < 2 {
+			c.addf("eligibility", j.ID, -1, "redundant job kept %d copies despite %d eligible remote(s)",
+				j.Copies, eligible)
+		}
+	}
+}
+
+// staleness audits the information model of informed routing: the
+// oldest snapshot any decision read can be at most one publish interval
+// plus the propagation delay old — older means the grid information
+// service served outdated state or the engine read around it.
+func (c *checker) staleness(ctx Context, res *core.Result, eps float64) {
+	if !ctx.Informed {
+		return
+	}
+	bound := ctx.GISInterval + ctx.GISDelay
+	if res.Routing.MaxAge > bound+eps {
+		c.addf("staleness", -1, -1, "observed snapshot age %v exceeds bound %v (interval %v + delay %v)",
+			res.Routing.MaxAge, bound, ctx.GISInterval, ctx.GISDelay)
+	}
+}
+
 // ledger balances the request and CPU-time bookkeeping across engine
 // and schedulers. Every identity needs the full population, so the
 // whole check is skipped for truncated runs.
@@ -401,6 +466,9 @@ func compareResultsOpt(c *checker, label string, a, b *core.Result, ignoreEvents
 			c.addf("determinism", x.ID, -1, "%s: job record %d diverged: %+v vs %+v", label, i, *x, *y)
 			return
 		}
+	}
+	if a.Routing != b.Routing {
+		c.addf("determinism", -1, -1, "%s: routing stats diverged: %+v vs %+v", label, a.Routing, b.Routing)
 	}
 	if (!ignoreEvents && a.Events != b.Events) || !feq(a.MakeSpan, b.MakeSpan) ||
 		a.Unfinished != b.Unfinished || a.Faults != b.Faults ||

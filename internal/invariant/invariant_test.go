@@ -105,7 +105,9 @@ func TestDetectsCapacityOverflow(t *testing.T) {
 	// the CPU ledger no longer balances.
 	j := &res.Jobs[0]
 	j.Nodes = ctx.Nodes[j.Winner] * 2
-	wantFinding(t, ctx, res, "capacity", "causality", "ledger")
+	// The inflated width also leaves the job with copies no eligible
+	// cluster could hold, an eligibility finding.
+	wantFinding(t, ctx, res, "capacity", "causality", "ledger", "eligibility")
 }
 
 func TestDetectsIdleWhileWork(t *testing.T) {
@@ -211,6 +213,67 @@ func TestShardInvarianceClean(t *testing.T) {
 	cfg := latentConfig()
 	if fs := CheckShardInvariance(cfg, []int{1, 2, 4, 8}); len(fs) != 0 {
 		t.Fatalf("sharded runs diverged from sequential:\n%v", fs)
+	}
+}
+
+// informedConfig routes over the grid information service: the
+// staleness audit and the routing-stats leg of the shard-invariance
+// comparison are only live under an informed policy.
+func informedConfig(pol core.Routing) core.Config {
+	cfg := latentConfig()
+	cfg.Scheme = core.SchemeR2
+	cfg.Routing = pol
+	return cfg
+}
+
+func TestInformedRunPassesAllInvariants(t *testing.T) {
+	for _, pol := range []core.Routing{core.RouteLeastQueue, core.RouteLeastWork, core.RoutePowerTwo} {
+		cfg := informedConfig(pol)
+		res, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%v: core.Run: %v", pol, err)
+		}
+		ctx := FromConfig(&cfg)
+		if !ctx.Informed || ctx.GISInterval != 60 || ctx.GISDelay != 60 {
+			t.Fatalf("%v: context %+v did not pick up the information model", pol, ctx)
+		}
+		if res.Routing.Decisions == 0 {
+			t.Fatalf("%v: no routing decisions recorded", pol)
+		}
+		if fs := Check(ctx, res); len(fs) != 0 {
+			t.Fatalf("%v: clean informed run produced findings:\n%v", pol, fs)
+		}
+	}
+}
+
+func TestDetectsStalenessOverrun(t *testing.T) {
+	cfg := informedConfig(core.RouteLeastQueue)
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("core.Run: %v", err)
+	}
+	res.Routing.MaxAge = cfg.ControlLatency + cfg.GISInterval() + 1
+	wantFinding(t, FromConfig(&cfg), res, "staleness")
+}
+
+func TestDetectsIneligibleCopies(t *testing.T) {
+	res, ctx := cleanResult(t)
+	// More copies than home plus eligible remotes can hold.
+	res.Jobs[0].Copies = len(ctx.Nodes) + 5
+	wantFinding(t, ctx, res, "eligibility", "ledger")
+}
+
+func TestDetectsMissingRedundantCopies(t *testing.T) {
+	res, ctx := cleanResult(t)
+	res.Jobs[0].Copies = 1
+	wantFinding(t, ctx, res, "eligibility", "ledger")
+}
+
+func TestShardInvarianceInformedRouting(t *testing.T) {
+	for _, pol := range []core.Routing{core.RouteLeastQueue, core.RouteLeastWork, core.RoutePowerTwo} {
+		if fs := CheckShardInvariance(informedConfig(pol), []int{2, 4}); len(fs) != 0 {
+			t.Fatalf("%v: sharded informed runs diverged from sequential:\n%v", pol, fs)
+		}
 	}
 }
 

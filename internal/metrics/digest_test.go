@@ -21,7 +21,7 @@ func digestConfig(shards int) core.Config {
 		Alg:               sched.EASY,
 		Scheme:            core.SchemeR2,
 		RedundantFraction: 1,
-		Selection:         core.SelUniform,
+		Routing:           core.RouteUniform,
 		Seed:              17,
 		Horizon:           900,
 		EstMode:           workload.Exact,

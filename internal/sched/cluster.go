@@ -160,6 +160,11 @@ type Config struct {
 	// submission by simulating the queue (CBF always records its
 	// reservation).
 	Predict bool
+	// Order is the queue-ordering policy applied by FCFS and EASY
+	// passes (OrderFCFS reproduces the paper). CBF supports only
+	// OrderFCFS: its reservations are granted at submission, before
+	// any reordering could apply.
+	Order Ordering
 }
 
 // Stats aggregates per-cluster counters.
@@ -195,6 +200,16 @@ type Cluster struct {
 	queue   []*Request // arrival order; may contain nil holes
 	holes   int
 	running []*Request // unordered; compacted lazily
+
+	// queuedWork tracks the pending queue's requested work in
+	// node-seconds (sum of estimate x nodes), maintained incrementally
+	// on submit/start/cancel; published to the grid information
+	// service for work-aware routing.
+	queuedWork float64
+
+	// orderView is the reusable policy-ordered pending view built by
+	// orderedPending for non-FCFS passes.
+	orderView []*Request
 
 	// CBF persistent profile (running allocations + reservations).
 	profile      *Profile
@@ -241,6 +256,9 @@ type Cluster struct {
 func NewCluster(sim *des.Simulation, name string, index int, cfg Config) *Cluster {
 	if cfg.Nodes < 1 {
 		panic("sched: cluster needs at least one node")
+	}
+	if cfg.Alg == CBF && cfg.Order != OrderFCFS {
+		panic("sched: CBF supports only FCFS ordering")
 	}
 	c := &Cluster{
 		Name:     name,
@@ -294,6 +312,10 @@ func (c *Cluster) Free() int { return c.free }
 // QueueLen returns the number of pending requests.
 func (c *Cluster) QueueLen() int { return len(c.queue) - c.holes }
 
+// QueuedWork returns the pending queue's requested work in
+// node-seconds (sum of estimate x nodes over pending requests).
+func (c *Cluster) QueuedWork() float64 { return c.queuedWork }
+
 // RunningLen returns the number of running requests.
 func (c *Cluster) RunningLen() int { return len(c.running) }
 
@@ -325,6 +347,7 @@ func (c *Cluster) Submit(r *Request) {
 	r.queued = true
 	r.slot = len(c.queue)
 	c.queue = append(c.queue, r)
+	c.queuedWork += r.Estimate * float64(r.Nodes)
 	c.stats.Submitted++
 	if q := c.QueueLen(); q > c.stats.MaxQueue {
 		c.stats.MaxQueue = q
@@ -346,6 +369,7 @@ func (c *Cluster) Cancel(r *Request) bool {
 	}
 	r.State = Canceled
 	c.removeFromQueue(r)
+	c.queuedWork -= r.Estimate * float64(r.Nodes)
 	c.stats.Canceled++
 	c.sampleQueueDepth()
 	if c.cfg.Alg == CBF {
@@ -438,12 +462,16 @@ func finishAction(a any) {
 func (c *Cluster) pass() {
 	c.stats.Passes++
 	c.inPass = true
-	switch c.cfg.Alg {
-	case FCFS:
+	switch {
+	case c.cfg.Alg == FCFS && c.cfg.Order == OrderFCFS:
 		c.passFCFS()
-	case EASY:
+	case c.cfg.Alg == FCFS:
+		c.passFCFSOrdered()
+	case c.cfg.Alg == EASY && c.cfg.Order == OrderFCFS:
 		c.passEASY()
-	case CBF:
+	case c.cfg.Alg == EASY:
+		c.passEASYOrdered()
+	default:
 		c.passCBF()
 	}
 	c.inPass = false
@@ -467,6 +495,7 @@ func (c *Cluster) start(r *Request) {
 	r.Start = now
 	c.free -= r.Nodes
 	c.removeFromQueue(r)
+	c.queuedWork -= r.Estimate * float64(r.Nodes)
 	c.running = append(c.running, r)
 	c.stats.Started++
 	if len(c.running) > c.stats.MaxRunning {
