@@ -4,7 +4,7 @@ GO ?= go
 # (override: make bench BENCH_LABEL=pr3-after).
 BENCH_LABEL ?= dev
 
-.PHONY: build test check bench bench-all fmt results validate
+.PHONY: build test check bench bench-all fmt results validate overload-smoke
 
 # Experiments recorded in results_full.txt: the registry minus sec4,
 # whose wall-clock measurements are not deterministic.
@@ -55,6 +55,15 @@ fmt:
 # violations in FINDINGS.md.
 validate:
 	$(GO) run ./cmd/redsim -run validate,trace -q
+
+# overload-smoke drives the overload experiment — the real daemon +
+# middleware stack behind the fault proxy, open-loop load, admission
+# control, and the breaker chaos window — at a single low rate under
+# the race detector. Wall-clock and nondeterministic (like sec4), so
+# it is a liveness/race gate, not a results snapshot; finishes in a
+# few seconds.
+overload-smoke:
+	$(GO) run -race ./cmd/redsim -run overload -sweep 50 -q
 
 # results regenerates results_full.txt through the registry dispatcher
 # (deterministic: fixed seeds, timing on stderr) and diffs it against

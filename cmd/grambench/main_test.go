@@ -2,27 +2,31 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestSmokeRun drives one tiny measurement end to end: an in-process
 // pbsd backend behind the middleware endpoint on a loopback port, a
-// minimal payload, and a short window.
+// minimal payload, and a short open-loop window per point.
 func TestSmokeRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs wall-clock measurements")
 	}
 	var out, errb bytes.Buffer
-	args := []string{"-items", "10", "-clients", "1", "-dur", "50ms"}
-	if code := run(args, &out, &errb); code != 0 {
+	args := []string{"-items", "10", "-dur", "50ms", "-proberate", "100",
+		"-rates", "40", "-r", "1,2", "-inflight", "16"}
+	if code := run(context.Background(), args, &out, &errb); code != 0 {
 		t.Fatalf("exit %d, stderr:\n%s", code, errb.String())
 	}
 	for _, want := range []string{
 		"raw marshal+unmarshal of 10-record payload",
-		"middleware transaction throughput",
+		"middleware capacity (open-loop saturation",
 		"in-memory",
 		"full GRAM-like (durable + message security)",
+		"overload response",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("output missing %q:\n%s", want, out.String())
@@ -30,9 +34,42 @@ func TestSmokeRun(t *testing.T) {
 	}
 }
 
+// An interrupt (canceled context, as SIGINT delivers in main) must
+// drain in-flight work, flush the partial results, and exit 0.
+func TestInterruptFlushesPartialResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs wall-clock measurements")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		cancel()
+	}()
+	var out, errb bytes.Buffer
+	// Long windows: without the interrupt this would run for minutes.
+	args := []string{"-items", "10", "-dur", "30s", "-proberate", "50",
+		"-rates", "10", "-r", "1", "-inflight", "8"}
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, args, &out, &errb) }()
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Fatalf("exit %d after interrupt, stderr:\n%s", code, errb.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("interrupted run did not drain and exit")
+	}
+	if !strings.Contains(out.String(), "interrupted — partial results above") {
+		t.Errorf("output missing interruption notice:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "raw marshal+unmarshal of 10-record payload") {
+		t.Errorf("partial results not flushed:\n%s", out.String())
+	}
+}
+
 func TestBadFlagExitsUsage(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"-no-such-flag"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errb); code != 2 {
 		t.Errorf("exit = %d, want 2", code)
 	}
 	if out.Len() != 0 {
@@ -40,9 +77,29 @@ func TestBadFlagExitsUsage(t *testing.T) {
 	}
 }
 
+func TestBadRatesExitUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-rates", "12x"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bad rate") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
+func TestBadRedundancyExitsUsage(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(context.Background(), []string{"-r", "1.5"}, &out, &errb); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "bad redundancy") {
+		t.Errorf("stderr missing diagnosis:\n%s", errb.String())
+	}
+}
+
 func TestPositionalArgsExitUsage(t *testing.T) {
 	var out, errb bytes.Buffer
-	if code := run([]string{"extra"}, &out, &errb); code != 2 {
+	if code := run(context.Background(), []string{"extra"}, &out, &errb); code != 2 {
 		t.Errorf("exit = %d, want 2", code)
 	}
 	if !strings.Contains(errb.String(), "unexpected arguments") {

@@ -1,38 +1,59 @@
-// Command pbsbench reproduces Figure 5: it saturates the pbsd batch
-// scheduler daemon with job submissions and head-of-queue deletions at
-// increasing queue sizes and reports sustained throughput, then
-// derives the Section 4.1 redundancy bound r < iat * throughput.
+// Command pbsbench reproduces Figure 5 and probes the daemon's
+// overload regime. It first saturates the pbsd batch scheduler daemon
+// with job submissions and head-of-queue deletions at increasing queue
+// sizes (sustained capacity, the Figure 5 shape) and derives the
+// Section 4.1 redundancy bound r < iat * throughput. It then drives
+// the daemon open-loop over its TCP protocol at a swept request rate ×
+// redundancy factor r against a preloaded queue, where a closed loop
+// would politely slow down instead of exposing the overload response
+// (see internal/loadgen). SIGINT drains in-flight requests and flushes
+// partial results.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"redreq/internal/loadgen"
 	"redreq/internal/pbsd"
 	"redreq/internal/report"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the testable entry point: it parses argv, runs the saturation
-// sweep, and returns the process exit code.
-func run(argv []string, stdout, stderr io.Writer) int {
+// sweep and the open-loop overload sweep, and returns the process exit
+// code. Canceling ctx (SIGINT in main) stops gracefully and flushes
+// partial results.
+func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("pbsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		sizes   = fs.String("sizes", "", "comma-separated queue sizes (default 0,1000,2500,5000,10000,15000,20000)")
-		clients = fs.Int("clients", 4, "concurrent saturating clients")
-		dur     = fs.Duration("dur", 2*time.Second, "measurement window per queue size")
-		tcp     = fs.Bool("tcp", true, "measure through the TCP protocol (false = direct API)")
-		iat     = fs.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
-		boundQ  = fs.Int("bound", 10000, "queue size at which to evaluate the redundancy bound")
+		sizes    = fs.String("sizes", "", "comma-separated queue sizes (default 0,1000,2500,5000,10000,15000,20000)")
+		clients  = fs.Int("clients", 4, "concurrent saturating clients (closed-loop sweep)")
+		dur      = fs.Duration("dur", 2*time.Second, "measurement window per point")
+		tcp      = fs.Bool("tcp", true, "measure through the TCP protocol (false = direct API)")
+		iat      = fs.Float64("iat", 5.01, "mean job interarrival time in seconds for the bound")
+		boundQ   = fs.Int("bound", 10000, "queue size at which to evaluate the redundancy bound")
+		rates    = fs.String("rates", "10,40", "comma-separated offered rates (pairs/s) for the open-loop sweep; empty skips it")
+		redund   = fs.String("r", "1,4", "comma-separated redundancy factors for the open-loop sweep")
+		arrivals = fs.String("arrivals", "poisson", "arrival law for the open-loop sweep: poisson|uniform")
+		inflight = fs.Int("inflight", 64, "open-loop: max in-flight logical requests")
+		deadline = fs.Duration("deadline", time.Second, "open-loop: per-request deadline")
+		qsize    = fs.Int("qsize", 1000, "open-loop: preloaded queue depth")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2 // the flag set already printed the error and usage
@@ -54,10 +75,43 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			qs = append(qs, v)
 		}
 	}
-	results, err := pbsd.Sweep(qs, *clients, *dur, *tcp)
-	if err != nil {
-		fmt.Fprintf(stderr, "pbsbench: %v\n", err)
-		return 1
+	var sweepRates []float64
+	var rs []int
+	law := loadgen.Poisson
+	if *rates != "" {
+		var err error
+		if sweepRates, err = loadgen.ParseRates(*rates); err != nil {
+			fmt.Fprintf(stderr, "pbsbench: %v\n", err)
+			return 2
+		}
+		if rs, err = parseRedundancies(*redund); err != nil {
+			fmt.Fprintf(stderr, "pbsbench: %v\n", err)
+			return 2
+		}
+		if law, err = loadgen.ParseArrival(*arrivals); err != nil {
+			fmt.Fprintf(stderr, "pbsbench: %v\n", err)
+			return 2
+		}
+	}
+
+	// The closed-loop capacity sweep, interruptible between points (a
+	// point in flight finishes its bounded window and drains).
+	if len(qs) == 0 {
+		qs = pbsd.DefaultQueueSizes
+	}
+	var results []pbsd.SaturationResult
+	for _, q := range qs {
+		if ctx.Err() != nil {
+			break
+		}
+		r, err := pbsd.Saturate(pbsd.SaturationConfig{
+			QueueSize: q, Clients: *clients, Duration: *dur, OverTCP: *tcp,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "pbsbench: %v\n", err)
+			return 1
+		}
+		results = append(results, r)
 	}
 	t := report.NewTable("Figure 5: daemon throughput vs queue size (maximum-churn submit + delete-head)",
 		"queue size", "pairs/s", "ops/s", "avg jobs scanned/cycle")
@@ -87,5 +141,170 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			at.QueueSize, at.PairRate)
 		fmt.Fprintf(stdout, "with iat = %.2f s the scheduler tolerates r < %d redundant requests per job.\n", *iat, bound)
 	}
-	return 0
+	if interrupted(ctx, stdout) {
+		return 0
+	}
+	if len(sweepRates) == 0 {
+		return 0
+	}
+
+	// Open-loop overload sweep: one daemon preloaded to -qsize, hit
+	// over TCP at rate × r. Each copy is a full submit + delete-head
+	// pair, so r multiplies the protocol work per logical request.
+	code, err := openLoopSweep(ctx, stdout, sweepConfig{
+		qsize: *qsize, rates: sweepRates, rs: rs, law: law,
+		dur: *dur, inflight: *inflight, deadline: *deadline,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "pbsbench: %v\n", err)
+		return 1
+	}
+	return code
+}
+
+type sweepConfig struct {
+	qsize    int
+	rates    []float64
+	rs       []int
+	law      loadgen.Arrival
+	dur      time.Duration
+	inflight int
+	deadline time.Duration
+}
+
+func openLoopSweep(ctx context.Context, stdout io.Writer, cfg sweepConfig) (int, error) {
+	srv, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		return 1, err
+	}
+	defer srv.Close()
+	for i := 0; i < cfg.qsize; i++ {
+		if _, err := srv.Submit(fmt.Sprintf("preload-%d", i), 1, time.Hour); err != nil {
+			return 1, err
+		}
+	}
+	ln, err := pbsd.Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		return 1, err
+	}
+	defer ln.Close()
+
+	// A pool of protocol connections sized for the worst-case copy
+	// concurrency: pbsd.Client is sequential-use, so each in-flight
+	// copy needs its own.
+	poolSize := cfg.inflight * maxInt(cfg.rs)
+	if poolSize > 256 {
+		poolSize = 256
+	}
+	pool := make(chan *pbsd.Client, poolSize)
+	for i := 0; i < poolSize; i++ {
+		c, err := pbsd.Dial(ln.Addr())
+		if err != nil {
+			return 1, err
+		}
+		defer c.Close()
+		pool <- c
+	}
+
+	t := report.NewTable(fmt.Sprintf("overload response (open-loop rate × redundancy, queue preloaded to %d)", cfg.qsize),
+		"rate", "r", "offered/s", "goodput/s", "p50 s", "p95 s", "p99 s", "loss %", "errors")
+	stopped := false
+sweep:
+	for _, rate := range cfg.rates {
+		for _, r := range cfg.rs {
+			res, err := loadgen.Run(ctx, loadgen.Config{
+				Rate:        rate,
+				Arrivals:    cfg.law,
+				Duration:    cfg.dur,
+				Redundancy:  r,
+				MaxInFlight: cfg.inflight,
+				Deadline:    cfg.deadline,
+				Do: func(ctx context.Context, _ loadgen.Request) error {
+					select {
+					case cl := <-pool:
+						defer func() { pool <- cl }()
+						if err := ctx.Err(); err != nil {
+							return err
+						}
+						if _, err := cl.Submit("open", 1, time.Hour); err != nil {
+							return err
+						}
+						// Delete-head keeps the queue pinned at the
+						// preloaded depth, Figure 5's churn pattern.
+						_, err := cl.DeleteHead()
+						return err
+					case <-ctx.Done():
+						return ctx.Err()
+					}
+				},
+				Classify: classifyDaemonErr,
+			})
+			if err != nil {
+				return 1, err
+			}
+			t.AddRow(report.Cell(rate, 0), fmt.Sprintf("%d", r),
+				report.Cell(res.OfferedRate, 1), report.Cell(res.Goodput, 1),
+				report.Cell(res.P50, 3), report.Cell(res.P95, 3), report.Cell(res.P99, 3),
+				report.Cell(100*res.ErrorRate(), 1), res.ErrorSummary())
+			if res.Interrupted {
+				stopped = true
+				break sweep
+			}
+		}
+	}
+	if err := t.Render(stdout); err != nil {
+		return 1, err
+	}
+	if stopped {
+		interrupted(ctx, stdout)
+	}
+	return 0, nil
+}
+
+// classifyDaemonErr buckets protocol-level failures for the report.
+func classifyDaemonErr(err error) string {
+	switch {
+	case errors.Is(err, pbsd.ErrBusy):
+		return "busy"
+	case errors.Is(err, pbsd.ErrLate):
+		return "late"
+	}
+	return ""
+}
+
+// parseRedundancies parses the comma-separated redundancy list.
+func parseRedundancies(s string) ([]int, error) {
+	rates, err := loadgen.ParseRates(s)
+	if err != nil {
+		return nil, fmt.Errorf("bad redundancy list %q", s)
+	}
+	out := make([]int, len(rates))
+	for i, v := range rates {
+		r := int(v)
+		if float64(r) != v || r < 1 {
+			return nil, fmt.Errorf("bad redundancy %g (want positive integer)", v)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func maxInt(vs []int) int {
+	m := 1
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// interrupted reports (and announces) a canceled run: partial results
+// above are already flushed.
+func interrupted(ctx context.Context, stdout io.Writer) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	fmt.Fprintln(stdout, "\ninterrupted — partial results above (in-flight requests drained)")
+	return true
 }

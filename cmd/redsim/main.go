@@ -38,6 +38,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -74,6 +75,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		routing  = fs.String("routing", "uniform", "remote-copy routing policy: uniform|biased|queuelen|leastwork|po2 (informed policies read the grid information service)")
 		ordering = fs.String("ordering", "fcfs", "local queue ordering: fcfs|sjf|aged (FCFS is the paper's setup; CBF supports only fcfs)")
 		stale    = fs.Float64("staleness", 0, "grid information service publish interval in seconds for informed routing (0 = control latency, negative = live reads)")
+		sweep    = fs.String("sweep", "", "comma-separated sweep positions overriding an experiment's default axis (e.g. offered rates for -run overload)")
 		seed     = fs.Uint64("seed", 20060619, "base seed")
 		cache    = fs.String("cache", "on", "memoize identical simulation runs and job streams across experiments: on|off")
 		quiet    = fs.Bool("q", false, "suppress progress and timing output")
@@ -172,6 +174,12 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	}
 	opts.Ordering = ord
 	opts.Staleness = *stale
+	if *sweep != "" {
+		if opts.Sweep, err = parseSweep(*sweep); err != nil {
+			fmt.Fprintf(stderr, "redsim: %v\n", err)
+			return 2
+		}
+	}
 	opts.BaseSeed = *seed
 	if *cache == "on" {
 		opts.Cache = core.NewMemo()
@@ -253,6 +261,19 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		f.Close()
 	}
 	return 0
+}
+
+// parseSweep parses the -sweep override into sweep positions.
+func parseSweep(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad sweep position %q (want positive numbers)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // resolve maps the -run value to registry specs, preserving order and

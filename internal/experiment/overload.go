@@ -1,0 +1,263 @@
+// Spec for the overload study: drive the real stack — middleware
+// service over the pbsd daemon, reached through a fault-injecting
+// proxy — with the open-loop generator at a swept offered rate ×
+// redundancy factor r, then walk the stack through a blackhole chaos
+// window with a breaker-armed client. This is the paper's Section 4
+// argument measured end to end: r multiplies the offered rate, so
+// goodput holds until rate*r crosses the stack's capacity and then
+// collapses into shed (BUSY/LATE) and deadline losses, while the
+// admission control and circuit breaker keep the collapse graceful.
+//
+// Like sec4, this is a wall-clock measurement: results vary run to run
+// and the spec is excluded from the deterministic results snapshot.
+
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"redreq/internal/fault"
+	"redreq/internal/loadgen"
+	"redreq/internal/middleware"
+	"redreq/internal/obs"
+	"redreq/internal/pbsd"
+	"redreq/internal/report"
+)
+
+// overloadTuning holds the wall-clock knobs; a package variable so the
+// quick test can shrink the windows without threading new Options
+// fields through the registry.
+var overloadTuning = struct {
+	Window      time.Duration // measurement window per sweep point
+	ChaosWindow time.Duration // window per chaos phase
+	Deadline    time.Duration // per-request deadline
+	IAT         float64       // mean interarrival time for the bound
+}{
+	Window:      400 * time.Millisecond,
+	ChaosWindow: 300 * time.Millisecond,
+	Deadline:    500 * time.Millisecond,
+	IAT:         5.01,
+}
+
+// overloadRedundancies are the r values swept at each offered rate.
+var overloadRedundancies = []int{1, 2, 4}
+
+var overloadSpec = &Spec{
+	Name:   "overload",
+	Title:  "Overload: open-loop rate × redundancy through the real stack",
+	Desc:   "wall-clock goodput vs offered rate × r through the fault proxy, plus a breaker chaos window (nondeterministic)",
+	Params: "rates=30,120 (override with -sweep), r=1,2,4, window=400ms per point",
+	Tables: overloadTables,
+}
+
+func overloadTables(opts Options) ([]*report.Table, error) {
+	rates := sweepOr(opts, []float64{30, 120})
+
+	stack, err := newOverloadStack(opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+
+	// (1) The sweep: rate × r, every copy a full submit+cancel pair, so
+	// a point that sustains goodput g at redundancy r pushed g*r pairs/s
+	// through the stack. The best such product is the demonstrated
+	// capacity.
+	sweep := report.NewTable("open-loop goodput vs offered rate × redundancy (submit+cancel pairs)",
+		"rate", "r", "offered/s", "goodput/s", "p95 s", "loss %", "errors")
+	maxPairs := 0.0
+	for _, rate := range rates {
+		for _, r := range overloadRedundancies {
+			res, err := stack.point(rate, r, middleware.ClientOptions{
+				Timeout: overloadTuning.Deadline,
+			})
+			if err != nil {
+				stack.Close()
+				return nil, err
+			}
+			if pairs := res.Goodput * float64(r); pairs > maxPairs {
+				maxPairs = pairs
+			}
+			sweep.AddRow(report.F(rate, 0), r,
+				report.F(res.OfferedRate, 1), report.F(res.Goodput, 1),
+				report.F(res.P95, 3), report.F(100*res.ErrorRate(), 1),
+				res.ErrorSummary())
+		}
+	}
+	// The overload points left the daemon's queue full of jobs whose
+	// cancel never landed, which would keep the admission control
+	// shedding through the chaos phases; give those a fresh stack.
+	stack.Close()
+	stack, err = newOverloadStack(opts.Trace)
+	if err != nil {
+		return nil, err
+	}
+	defer stack.Close()
+
+	// (2) Chaos window: healthy -> blackhole -> recovered, with a
+	// breaker-armed client. During the blackhole every attempt burns
+	// its timeout until the breaker opens and the rest fail fast; after
+	// the window the cooldown probe closes it again.
+	tr := obs.New()
+	chaosClient := middleware.ClientOptions{
+		Timeout: 100 * time.Millisecond,
+		Breaker: middleware.BreakerOptions{Threshold: 3, Cooldown: 100 * time.Millisecond},
+		// Fresh connection per attempt so the proxy's per-connection
+		// verdict governs every exchange.
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Trace:     tr,
+	}
+	chaos := report.NewTable("chaos window: breaker behavior across a blackhole (rate 40, r=1)",
+		"phase", "offered/s", "goodput/s", "loss %", "errors", "breaker after", "opens", "rejected", "closes")
+	phases := []struct {
+		name  string
+		black bool
+	}{
+		{"healthy", false},
+		{"blackhole", true},
+		{"recovered", false},
+	}
+	cl := middleware.NewClientOptions(stack.url, "overload-chaos", chaosClient)
+	prev := tr.Snapshot()
+	for _, ph := range phases {
+		stack.blackhole.Store(ph.black)
+		res, err := stack.runPoint(cl, 40, 1, overloadTuning.ChaosWindow)
+		if err != nil {
+			return nil, err
+		}
+		snap := tr.Snapshot()
+		chaos.AddRow(ph.name,
+			report.F(res.OfferedRate, 1), report.F(res.Goodput, 1),
+			report.F(100*res.ErrorRate(), 1), res.ErrorSummary(), cl.BreakerState(),
+			snap.Counter("gram.breaker.open")-prev.Counter("gram.breaker.open"),
+			snap.Counter("gram.breaker.rejected")-prev.Counter("gram.breaker.rejected"),
+			snap.Counter("gram.breaker.close")-prev.Counter("gram.breaker.close"))
+		prev = snap
+	}
+	opts.Trace.Merge(tr)
+
+	// (3) The measured bound next to the paper's numbers.
+	measured := pbsd.LoadBound(maxPairs, overloadTuning.IAT)
+	bounds := report.NewTable("measured redundancy bound vs the paper's", "metric", "value")
+	bounds.AddRow("measured stack capacity (pairs/s, best goodput×r point, GRAM-like mode)", report.F(maxPairs, 1))
+	bounds.AddRow(fmt.Sprintf("measured bound r < iat*capacity (iat=%.2fs)", overloadTuning.IAT), measured)
+	bounds.AddRow("paper: GT4 WS-GRAM bound", "r < 3")
+	bounds.AddRow("paper: scheduler bound (10k-deep queue)", "r < 30")
+	return []*report.Table{sweep, chaos, bounds}, nil
+}
+
+// overloadStack is the real stack under test: pbsd with admission
+// control, the middleware service in its full GRAM-like mode (durable
+// per-transaction state plus message security — the paper's GT4
+// configuration, and the mode slow enough that the sweep actually
+// crosses the capacity knee), and a fault proxy in front whose
+// blackhole flag the chaos phases flip.
+type overloadStack struct {
+	backend   *pbsd.Server
+	svc       *middleware.Service
+	ep        *middleware.Endpoint
+	proxy     *fault.Proxy
+	blackhole atomic.Bool
+	url       string
+	stateDir  string
+	trace     *obs.Trace
+	merge     *obs.Trace // opts.Trace, merged on Close
+}
+
+func newOverloadStack(merge *obs.Trace) (*overloadStack, error) {
+	s := &overloadStack{trace: obs.New(), merge: merge}
+	var err error
+	s.backend, err = pbsd.New(pbsd.Config{
+		Nodes:       16,
+		MaxQueue:    512,
+		AdmitBudget: 250 * time.Millisecond,
+		Trace:       s.trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.stateDir, err = os.MkdirTemp("", "overload-state")
+	if err != nil {
+		s.backend.Close()
+		return nil, err
+	}
+	s.svc, err = middleware.NewService(middleware.ServiceConfig{
+		Durable:  true,
+		Security: true,
+		StateDir: s.stateDir,
+		Backend:  s.backend,
+		Trace:    s.trace,
+	})
+	if err != nil {
+		os.RemoveAll(s.stateDir)
+		s.backend.Close()
+		return nil, err
+	}
+	s.ep, err = middleware.Start(s.svc, "127.0.0.1:0")
+	if err != nil {
+		s.svc.Close()
+		os.RemoveAll(s.stateDir)
+		s.backend.Close()
+		return nil, err
+	}
+	s.proxy = &fault.Proxy{
+		Backend: s.ep.URL[len("http://"):],
+		Decide: func(int) fault.Verdict {
+			if s.blackhole.Load() {
+				return fault.Blackhole
+			}
+			return fault.Forward
+		},
+	}
+	addr, err := s.proxy.Start()
+	if err != nil {
+		s.ep.Close()
+		s.svc.Close()
+		os.RemoveAll(s.stateDir)
+		s.backend.Close()
+		return nil, err
+	}
+	s.url = "http://" + addr
+	return s, nil
+}
+
+func (s *overloadStack) Close() {
+	s.proxy.Close()
+	s.ep.Close()
+	s.svc.Close()
+	os.RemoveAll(s.stateDir)
+	s.backend.Close()
+	s.merge.Merge(s.trace)
+}
+
+// point runs one open-loop sweep point with a fresh client built from
+// the given options.
+func (s *overloadStack) point(rate float64, r int, copt middleware.ClientOptions) (loadgen.Result, error) {
+	cl := middleware.NewClientOptions(s.url, fmt.Sprintf("overload-%g-%d", rate, r), copt)
+	return s.runPoint(cl, rate, r, overloadTuning.Window)
+}
+
+// runPoint drives the generator through an existing client (the chaos
+// phases keep one client so breaker state carries across phases).
+func (s *overloadStack) runPoint(cl *middleware.Client, rate float64, r int, window time.Duration) (loadgen.Result, error) {
+	return loadgen.Run(context.Background(), loadgen.Config{
+		Rate:        rate,
+		Arrivals:    loadgen.Poisson,
+		Duration:    window,
+		Redundancy:  r,
+		MaxInFlight: 128,
+		Deadline:    overloadTuning.Deadline,
+		Do: func(ctx context.Context, _ loadgen.Request) error {
+			id, err := cl.SubmitContext(ctx, "overload", 1, time.Hour)
+			if err != nil {
+				return err
+			}
+			return cl.CancelContext(ctx, id)
+		},
+		Classify: middleware.ErrorClass,
+	})
+}

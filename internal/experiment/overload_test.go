@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"redreq/internal/obs"
+)
+
+// TestOverloadTables runs the full experiment — sweep, chaos window,
+// bounds — against a live stack with the wall-clock knobs shrunk to
+// test scale, and checks the tables have the promised shape.
+func TestOverloadTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs wall-clock measurements")
+	}
+	saved := overloadTuning
+	overloadTuning.Window = 80 * time.Millisecond
+	overloadTuning.ChaosWindow = 80 * time.Millisecond
+	overloadTuning.Deadline = 200 * time.Millisecond
+	t.Cleanup(func() { overloadTuning = saved })
+
+	tr := obs.New()
+	tables, err := overloadTables(Options{Sweep: []float64{40}, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("got %d tables, want 3 (sweep, chaos, bounds)", len(tables))
+	}
+	if want := len(overloadRedundancies); tables[0].Len() != want {
+		t.Errorf("sweep rows = %d, want %d (1 rate × %d redundancies)", tables[0].Len(), want, want)
+	}
+	if tables[1].Len() != 3 {
+		t.Errorf("chaos rows = %d, want 3 (healthy/blackhole/recovered)", tables[1].Len())
+	}
+	if tables[2].Len() != 4 {
+		t.Errorf("bounds rows = %d, want 4", tables[2].Len())
+	}
+	// The stack's counters must surface in the aggregate trace: the
+	// sweep performed real submissions, and at least the breaker's
+	// counters registered (the blackhole phase trips it).
+	snap := tr.Snapshot()
+	var submits int64
+	for _, h := range snap.Hists {
+		if h.Name == "gram.latency.submit" {
+			submits = h.Count
+		}
+	}
+	if submits == 0 {
+		t.Error("trace missing gram.latency.submit observations — stack trace not merged")
+	}
+	if snap.Counter("gram.breaker.open") == 0 {
+		t.Error("blackhole phase never opened the breaker")
+	}
+}
+
+// TestOverloadRegistered checks the spec is reachable through the
+// registry under its name.
+func TestOverloadRegistered(t *testing.T) {
+	s, ok := Lookup("overload")
+	if !ok {
+		t.Fatal("overload not in the registry")
+	}
+	if s.Tables == nil {
+		t.Error("overload must be a Tables (wall-clock) spec")
+	}
+}

@@ -91,6 +91,7 @@ var specs = []*Spec{
 	validateSpec,
 	traceSpec,
 	routingSpec,
+	overloadSpec,
 }
 
 // All returns every registered experiment in execution order.

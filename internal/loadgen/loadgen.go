@@ -1,0 +1,409 @@
+// Package loadgen is an open-loop load generator for the real-stack
+// harnesses (cmd/pbsbench, cmd/grambench, the overload experiment).
+//
+// Closed-loop drivers — N workers in a request/response lockstep —
+// measure a system's ceiling but cannot take it past the knee: when
+// the server slows down, a closed loop slows its own offered rate in
+// sympathy, hiding exactly the overload regime where the paper's
+// Section 4 bounds bind. An open-loop generator fires requests on a
+// target-rate arrival schedule regardless of how the previous requests
+// are faring, so offered load keeps climbing while goodput saturates
+// and latency grows without bound — the regime where redundancy's
+// r-multiplier on request rate does its damage.
+//
+// The engine draws an arrival schedule (Poisson or uniform) at a
+// target rate of logical requests per second, launches Redundancy
+// copies of each logical request, bounds concurrently-executing
+// logical requests (arrivals past the bound are *dropped and counted*,
+// never queued — queueing would close the loop), applies a per-request
+// deadline, and accounts latency percentiles and classified errors.
+//
+// Copies run to completion independently: a logical request succeeds
+// when at least one copy succeeds, and its latency is the time from
+// its scheduled arrival to its first success (scheduled, not actual,
+// so generator lag under overload is charged to the system — the
+// standard correction for coordinated omission). Cancel-on-first-win
+// is deliberately NOT the generator's job: cancel disciplines are a
+// property of the system under test (client hedging, server-side
+// cancellation), and a harness that silently canceled loser copies
+// would under-charge the stack for exactly the redundant work the
+// paper indicts.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"redreq/internal/stats"
+)
+
+// Arrival is the interarrival law of the open-loop schedule.
+type Arrival int
+
+const (
+	// Poisson draws exponential interarrivals (memoryless, the
+	// classic open-loop benchmark assumption and the paper's job
+	// arrival model).
+	Poisson Arrival = iota
+	// Uniform spaces arrivals exactly 1/Rate apart (deterministic,
+	// for tests and worst-case burst-free baselines).
+	Uniform
+)
+
+func (a Arrival) String() string {
+	switch a {
+	case Poisson:
+		return "poisson"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// ParseArrival resolves an arrival-law name, case-insensitively.
+func ParseArrival(s string) (Arrival, error) {
+	switch strings.ToLower(s) {
+	case "poisson":
+		return Poisson, nil
+	case "uniform":
+		return Uniform, nil
+	default:
+		return 0, fmt.Errorf("loadgen: unknown arrival law %q (poisson|uniform)", s)
+	}
+}
+
+// Request identifies one copy of one logical request handed to Do.
+type Request struct {
+	// Seq is the logical request index (0-based, in arrival order).
+	Seq int
+	// Copy is the redundant copy index, 0 <= Copy < Redundancy.
+	Copy int
+}
+
+// Config configures one open-loop run.
+type Config struct {
+	// Rate is the target arrival rate of logical requests per second.
+	Rate float64
+	// Arrivals is the interarrival law (default Poisson).
+	Arrivals Arrival
+	// Duration is the offered window: arrivals stop after it elapses;
+	// in-flight requests are then drained.
+	Duration time.Duration
+	// Redundancy is the number of copies launched per logical request
+	// (default 1). Each copy invokes Do independently.
+	Redundancy int
+	// MaxInFlight bounds concurrently executing logical requests
+	// (default 512). An arrival that finds no free slot is dropped and
+	// counted — never queued, which would close the loop.
+	MaxInFlight int
+	// Deadline, when positive, bounds each logical request: every
+	// copy's context expires Deadline after the scheduled arrival.
+	Deadline time.Duration
+	// Seed seeds the interarrival draw (0 uses a fixed default).
+	Seed uint64
+	// Do performs one copy. A nil error is a success. Do must respect
+	// ctx: it is canceled at the deadline and on run interruption.
+	Do func(ctx context.Context, req Request) error
+	// Classify, when non-nil, buckets a failed logical request's error
+	// into a named class for Result.Errors (e.g. "busy", "late").
+	// Deadline expiries are pre-classified as "deadline"; everything
+	// else defaults to "error".
+	Classify func(error) string
+}
+
+// Result is the accounting of one open-loop run.
+type Result struct {
+	// Offered is the number of logical arrivals generated, and Copies
+	// the number of request copies actually launched.
+	Offered int
+	Copies  int
+	// Dropped counts arrivals discarded at the MaxInFlight bound —
+	// client-side shedding under overload.
+	Dropped int
+	// OK counts logical requests with at least one successful copy;
+	// Failed counts those whose every copy failed.
+	OK     int
+	Failed int
+	// Errors buckets failed logical requests by Classify class
+	// ("deadline" for deadline expiries, "error" by default).
+	Errors map[string]int
+	// Elapsed is the wall-clock span from first scheduled arrival to
+	// full drain.
+	Elapsed time.Duration
+	// OfferedRate is Offered divided by the offered window (the
+	// configured Duration, or the interrupted fraction of it);
+	// Goodput is OK per second of the same window.
+	OfferedRate float64
+	Goodput     float64
+	// P50/P95/P99/Mean/Max summarize successful logical-request
+	// latency in seconds, measured from scheduled arrival to first
+	// copy success.
+	P50, P95, P99, Mean, Max float64
+	// Interrupted reports that the run's context was canceled before
+	// the full Duration: the result covers the partial window.
+	Interrupted bool
+}
+
+// ErrorRate returns the fraction of offered logical requests that
+// produced no success (failed every copy, or dropped at the bound).
+func (r Result) ErrorRate() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Failed+r.Dropped) / float64(r.Offered)
+}
+
+// Run executes one open-loop measurement. Canceling ctx stops new
+// arrivals, drains in-flight requests, and returns the partial result
+// with Interrupted set — it is not an error.
+func Run(ctx context.Context, cfg Config) (Result, error) {
+	if cfg.Do == nil {
+		return Result{}, errors.New("loadgen: Config.Do is required")
+	}
+	if cfg.Rate <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Rate must be positive, got %g", cfg.Rate)
+	}
+	if cfg.Duration <= 0 {
+		return Result{}, fmt.Errorf("loadgen: Duration must be positive, got %v", cfg.Duration)
+	}
+	if cfg.Redundancy < 1 {
+		cfg.Redundancy = 1
+	}
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 512
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 0x10adcafe
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+
+	e := &engine{cfg: cfg, res: Result{Errors: make(map[string]int)}}
+	e.slots = make(chan struct{}, cfg.MaxInFlight)
+
+	start := time.Now()
+	next := start // first arrival fires immediately
+	deadline := start.Add(cfg.Duration)
+	timer := time.NewTimer(0)
+	defer timer.Stop()
+	seq := 0
+schedule:
+	for next.Before(deadline) {
+		timer.Reset(time.Until(next))
+		select {
+		case <-ctx.Done():
+			e.res.Interrupted = true
+			break schedule
+		case <-timer.C:
+		}
+		e.launch(ctx, seq, next)
+		seq++
+		next = next.Add(e.interarrival(rng))
+	}
+	e.wg.Wait()
+
+	e.mu.Lock()
+	res := e.res
+	e.mu.Unlock()
+	res.Elapsed = time.Since(start)
+	window := cfg.Duration.Seconds()
+	if res.Interrupted {
+		window = res.Elapsed.Seconds()
+	}
+	if window > 0 {
+		res.OfferedRate = float64(res.Offered) / window
+		res.Goodput = float64(res.OK) / window
+	}
+	if len(e.lat) > 0 {
+		res.P50 = stats.Percentile(e.lat, 50)
+		res.P95 = stats.Percentile(e.lat, 95)
+		res.P99 = stats.Percentile(e.lat, 99)
+		res.Max = stats.Max(e.lat)
+		var sum float64
+		for _, l := range e.lat {
+			sum += l
+		}
+		res.Mean = sum / float64(len(e.lat))
+	}
+	return res, nil
+}
+
+type engine struct {
+	cfg   Config
+	slots chan struct{}
+	wg    sync.WaitGroup
+
+	mu  sync.Mutex
+	res Result
+	lat []float64 // successful logical-request latencies, seconds
+}
+
+// interarrival draws the gap to the next arrival.
+func (e *engine) interarrival(rng *rand.Rand) time.Duration {
+	mean := 1 / e.cfg.Rate
+	gap := mean
+	if e.cfg.Arrivals == Poisson {
+		gap = rng.ExpFloat64() * mean
+	}
+	// Floor the gap at ~1µs so a pathological draw cannot wedge the
+	// scheduler in a zero-sleep spin.
+	if gap < 1e-6 {
+		gap = 1e-6
+	}
+	return time.Duration(gap * float64(time.Second))
+}
+
+// launch starts one logical request, or drops it when no slot is free.
+func (e *engine) launch(ctx context.Context, seq int, scheduled time.Time) {
+	e.mu.Lock()
+	e.res.Offered++
+	e.mu.Unlock()
+	select {
+	case e.slots <- struct{}{}:
+	default:
+		e.mu.Lock()
+		e.res.Dropped++
+		e.mu.Unlock()
+		return
+	}
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer func() { <-e.slots }()
+		e.logical(ctx, seq, scheduled)
+	}()
+}
+
+// logical runs every copy of one logical request and folds the
+// outcome into the result.
+func (e *engine) logical(ctx context.Context, seq int, scheduled time.Time) {
+	var cancel context.CancelFunc
+	if e.cfg.Deadline > 0 {
+		ctx, cancel = context.WithDeadline(ctx, scheduled.Add(e.cfg.Deadline))
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	r := e.cfg.Redundancy
+	type outcome struct {
+		err error
+		at  time.Time
+	}
+	ch := make(chan outcome, r)
+	for c := 0; c < r; c++ {
+		c := c
+		go func() {
+			err := e.cfg.Do(ctx, Request{Seq: seq, Copy: c})
+			ch <- outcome{err, time.Now()}
+		}()
+	}
+	var (
+		firstOK  time.Time
+		firstErr error
+	)
+	for c := 0; c < r; c++ {
+		o := <-ch
+		if o.err == nil {
+			if firstOK.IsZero() || o.at.Before(firstOK) {
+				firstOK = o.at
+			}
+		} else if firstErr == nil {
+			firstErr = o.err
+		}
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.res.Copies += r
+	if !firstOK.IsZero() {
+		e.res.OK++
+		lat := firstOK.Sub(scheduled).Seconds()
+		if lat < 0 {
+			lat = 0
+		}
+		e.lat = append(e.lat, lat)
+		return
+	}
+	e.res.Failed++
+	e.res.Errors[e.classify(ctx, firstErr)]++
+}
+
+// classify buckets a failed logical request's primary error.
+func (e *engine) classify(ctx context.Context, err error) string {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		return "deadline"
+	}
+	if e.cfg.Classify != nil {
+		if class := e.cfg.Classify(err); class != "" {
+			return class
+		}
+	}
+	return "error"
+}
+
+// ParseRates parses a comma-separated list of positive rates
+// (e.g. "20,60,120"), the shared flag syntax of the bench commands.
+func ParseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || math.IsNaN(v) || v <= 0 {
+			return nil, fmt.Errorf("loadgen: bad rate %q", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("loadgen: empty rate list")
+	}
+	return out, nil
+}
+
+// ErrorClasses returns the result's error classes sorted by name, for
+// deterministic reporting.
+func (r Result) ErrorClasses() []string {
+	keys := make([]string, 0, len(r.Errors))
+	for k := range r.Errors {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// ErrorSummary renders the error classes plus client-side drops as
+// space-separated "class:count" pairs in deterministic order, or "-"
+// when the run was clean — the compact table cell of the bench
+// commands.
+func (r Result) ErrorSummary() string {
+	var b strings.Builder
+	for _, class := range r.ErrorClasses() {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", class, r.Errors[class])
+	}
+	if r.Dropped > 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "dropped:%d", r.Dropped)
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}

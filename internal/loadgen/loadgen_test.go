@@ -1,0 +1,240 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A uniform schedule at a known rate must offer ~rate*duration logical
+// requests and, with an instant Do, succeed on all of them.
+func TestUniformScheduleOffersTargetRate(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Rate:     200,
+		Arrivals: Uniform,
+		Duration: 250 * time.Millisecond,
+		Do:       func(context.Context, Request) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 200/s over 250 ms = 50 scheduled arrivals; allow slack for a
+	// loaded CI machine (the scheduler never skips arrivals, but the
+	// final ones can slip past the window edge).
+	if res.Offered < 35 || res.Offered > 55 {
+		t.Fatalf("Offered = %d, want ~50", res.Offered)
+	}
+	if res.OK != res.Offered || res.Failed != 0 || res.Dropped != 0 {
+		t.Fatalf("OK/Failed/Dropped = %d/%d/%d, want all offered OK", res.OK, res.Failed, res.Dropped)
+	}
+	if res.Goodput <= 0 || res.OfferedRate <= 0 {
+		t.Fatalf("rates not computed: %+v", res)
+	}
+	if res.Interrupted {
+		t.Fatal("uninterrupted run marked Interrupted")
+	}
+}
+
+// The concurrency bound must shed arrivals, not queue them: with one
+// slot and a Do that outlives the whole window, every arrival after
+// the first is dropped.
+func TestMaxInFlightDropsInsteadOfQueueing(t *testing.T) {
+	block := make(chan struct{})
+	var started atomic.Int32
+	res, err := Run(context.Background(), Config{
+		Rate:        500,
+		Arrivals:    Uniform,
+		Duration:    100 * time.Millisecond,
+		MaxInFlight: 1,
+		Deadline:    150 * time.Millisecond,
+		Do: func(ctx context.Context, _ Request) error {
+			started.Add(1)
+			select {
+			case <-block:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
+	})
+	close(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := started.Load(); got != 1 {
+		t.Fatalf("Do started %d times, want 1 (bound = 1)", got)
+	}
+	if res.Dropped != res.Offered-1 {
+		t.Fatalf("Dropped = %d of %d offered, want all but one", res.Dropped, res.Offered)
+	}
+	if res.ErrorRate() <= 0 {
+		t.Fatal("drops must count toward the error rate")
+	}
+}
+
+// A logical request succeeds when any one of its redundant copies
+// succeeds; the copy count must reflect all launches.
+func TestRedundantCopiesFirstSuccessWins(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Rate:       100,
+		Arrivals:   Uniform,
+		Duration:   50 * time.Millisecond,
+		Redundancy: 3,
+		Do: func(_ context.Context, req Request) error {
+			if req.Copy == 2 {
+				return nil // only the last copy succeeds
+			}
+			return errors.New("copy failed")
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != res.Offered || res.Failed != 0 {
+		t.Fatalf("OK = %d of %d offered (Failed %d), want all OK via copy 2", res.OK, res.Offered, res.Failed)
+	}
+	if res.Copies != 3*res.Offered {
+		t.Fatalf("Copies = %d, want %d (3 per logical request)", res.Copies, 3*res.Offered)
+	}
+}
+
+// Deadline expiries are classified "deadline"; other failures flow
+// through Classify.
+func TestDeadlineAndClassification(t *testing.T) {
+	errBusy := errors.New("busy")
+	res, err := Run(context.Background(), Config{
+		Rate:     100,
+		Arrivals: Uniform,
+		Duration: 60 * time.Millisecond,
+		Deadline: 10 * time.Millisecond,
+		Do: func(ctx context.Context, req Request) error {
+			if req.Seq%2 == 0 {
+				<-ctx.Done() // wait out the deadline
+				return ctx.Err()
+			}
+			return errBusy
+		},
+		Classify: func(err error) string {
+			if errors.Is(err, errBusy) {
+				return "busy"
+			}
+			return ""
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != 0 || res.Failed != res.Offered {
+		t.Fatalf("OK/Failed = %d/%d of %d, want all failed", res.OK, res.Failed, res.Offered)
+	}
+	if res.Errors["deadline"] == 0 || res.Errors["busy"] == 0 {
+		t.Fatalf("Errors = %v, want both deadline and busy classes", res.Errors)
+	}
+	if got := res.Errors["deadline"] + res.Errors["busy"]; got != res.Failed {
+		t.Fatalf("classified %d of %d failures", got, res.Failed)
+	}
+}
+
+// Canceling the run context stops arrivals and drains in-flight work:
+// the partial result is returned with Interrupted set, not an error.
+func TestInterruptDrainsAndReturnsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var inflight, maxSeen atomic.Int32
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		cancel()
+	}()
+	res, err := Run(ctx, Config{
+		Rate:     200,
+		Arrivals: Uniform,
+		Duration: 10 * time.Second, // the cancel, not the window, ends the run
+		Do: func(ctx context.Context, _ Request) error {
+			n := inflight.Add(1)
+			defer inflight.Add(-1)
+			for {
+				if m := maxSeen.Load(); n <= m || maxSeen.CompareAndSwap(m, n) {
+					break
+				}
+			}
+			time.Sleep(5 * time.Millisecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("canceled run not marked Interrupted")
+	}
+	if res.Offered == 0 || res.OK == 0 {
+		t.Fatalf("no partial results: %+v", res)
+	}
+	if res.Elapsed >= 5*time.Second {
+		t.Fatalf("run did not stop on cancel (elapsed %v)", res.Elapsed)
+	}
+	if got := inflight.Load(); got != 0 {
+		t.Fatalf("%d requests still in flight after Run returned", got)
+	}
+}
+
+// Latency percentiles must be monotone and cover the injected floor.
+func TestLatencyPercentiles(t *testing.T) {
+	res, err := Run(context.Background(), Config{
+		Rate:     100,
+		Arrivals: Poisson,
+		Seed:     7,
+		Duration: 100 * time.Millisecond,
+		Do: func(context.Context, Request) error {
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 < 0.002 {
+		t.Fatalf("P50 = %g s below the 2 ms service floor", res.P50)
+	}
+	if res.P50 > res.P95 || res.P95 > res.P99 || res.P99 > res.Max {
+		t.Fatalf("percentiles not monotone: p50 %g p95 %g p99 %g max %g", res.P50, res.P95, res.P99, res.Max)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Rate: 1, Duration: time.Second}); err == nil {
+		t.Error("nil Do accepted")
+	}
+	nop := func(context.Context, Request) error { return nil }
+	if _, err := Run(context.Background(), Config{Rate: 0, Duration: time.Second, Do: nop}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Run(context.Background(), Config{Rate: 1, Do: nop}); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestParseArrival(t *testing.T) {
+	for name, want := range map[string]Arrival{"poisson": Poisson, "Uniform": Uniform} {
+		got, err := ParseArrival(name)
+		if err != nil || got != want {
+			t.Errorf("ParseArrival(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseArrival("bursty"); err == nil {
+		t.Error("unknown arrival law accepted")
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	got, err := ParseRates("20, 60,120")
+	if err != nil || len(got) != 3 || got[0] != 20 || got[2] != 120 {
+		t.Fatalf("ParseRates = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-3", "frog", "12x"} {
+		if _, err := ParseRates(bad); err == nil {
+			t.Errorf("ParseRates(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Circuit breaker for the middleware client: the client-side mirror of
+// the daemon's admission control. Where the daemon sheds requests it
+// cannot schedule in time, the breaker sheds requests the *endpoint*
+// cannot answer at all — a dead or blackholed service makes every
+// attempt burn a full timeout, so after a run of consecutive transport
+// failures the breaker opens and fails calls instantly until a probe
+// succeeds.
+//
+// State machine (per endpoint — a Client is bound to one base URL, so
+// the breaker guards exactly that endpoint):
+//
+//	closed ──(Threshold consecutive transport failures)──► open
+//	open ──(Cooldown elapsed; one probe allowed through)──► half-open
+//	half-open ──(probe succeeds)──► closed
+//	half-open ──(probe fails)──► open (cooldown restarts)
+//
+// Only transport-class failures (dial errors, resets, timeouts — the
+// signature of an unreachable endpoint) count toward opening: a BUSY,
+// LATE, or service Fault is proof the endpoint is alive and resets the
+// failure run. Transitions are counted on gram.breaker.open,
+// gram.breaker.halfopen, gram.breaker.close; calls rejected while open
+// on gram.breaker.rejected.
+
+package middleware
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"redreq/internal/obs"
+)
+
+// BreakerOptions tunes the client's circuit breaker. The zero value
+// disables it.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive transport failures that
+	// opens the breaker; 0 disables the breaker entirely.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe; 0 uses 1 s.
+	Cooldown time.Duration
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "?"
+	}
+}
+
+// breaker is the per-endpoint state machine. A nil *breaker (breaker
+// disabled) admits everything.
+type breaker struct {
+	opt BreakerOptions
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive transport failures while closed
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+
+	cOpen     *obs.Counter
+	cHalfOpen *obs.Counter
+	cClose    *obs.Counter
+	cRejected *obs.Counter
+}
+
+func newBreaker(opt BreakerOptions, now func() time.Time, tr *obs.Trace) *breaker {
+	if opt.Threshold <= 0 {
+		return nil
+	}
+	if opt.Cooldown <= 0 {
+		opt.Cooldown = time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	b := &breaker{opt: opt, now: now}
+	if tr != nil {
+		b.cOpen = tr.Counter("gram.breaker.open")
+		b.cHalfOpen = tr.Counter("gram.breaker.halfopen")
+		b.cClose = tr.Counter("gram.breaker.close")
+		b.cRejected = tr.Counter("gram.breaker.rejected")
+	}
+	return b
+}
+
+// allow gates one attempt: nil admits it, ErrCircuitOpen rejects it
+// without touching the network. When the cooldown has elapsed it
+// transitions open → half-open and admits exactly one probe.
+func (b *breaker) allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.opt.Cooldown {
+			b.state = breakerHalfOpen
+			b.probing = true
+			b.cHalfOpen.Inc()
+			return nil // this caller is the probe
+		}
+		b.cRejected.Inc()
+		return ErrCircuitOpen
+	case breakerHalfOpen:
+		if b.probing {
+			// One probe at a time; everyone else keeps failing fast.
+			b.cRejected.Inc()
+			return ErrCircuitOpen
+		}
+		b.probing = true
+		return nil
+	}
+	return nil
+}
+
+// report feeds one attempt's outcome back. Only transport-class
+// errors count as breaker failures; any other outcome (success, BUSY,
+// LATE, service fault, decode error) proves the endpoint alive.
+func (b *breaker) report(err error) {
+	if b == nil {
+		return
+	}
+	var te *TransportError
+	failure := errors.As(err, &te)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		if !failure {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.opt.Threshold {
+			b.trip()
+		}
+	case breakerHalfOpen:
+		b.probing = false
+		if failure {
+			b.trip()
+			return
+		}
+		b.state = breakerClosed
+		b.failures = 0
+		b.cClose.Inc()
+	case breakerOpen:
+		// A straggler attempt admitted before the trip finished; its
+		// outcome is stale — ignore it.
+	}
+}
+
+// trip moves to open and restarts the cooldown; callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.cOpen.Inc()
+}
+
+// State reports the breaker's current state name for diagnostics:
+// "closed", "open", "half-open", or "disabled".
+func (b *breaker) State() string {
+	if b == nil {
+		return "disabled"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}

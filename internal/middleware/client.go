@@ -39,14 +39,32 @@ type ClientOptions struct {
 	// a shed endpoint. Nil uses math/rand. Inject a constant for
 	// deterministic tests.
 	Jitter func() float64
-	// Sleep performs the backoff wait; nil uses time.Sleep. Inject a
-	// fake clock to assert backoff timing without real delays.
+	// Sleep performs the backoff wait; nil waits on a timer that the
+	// call context interrupts, so a canceled caller never sits out a
+	// multi-second backoff. Inject a fake clock to assert backoff
+	// timing without real delays (an injected Sleep is not
+	// interruptible — tests control it).
 	Sleep func(time.Duration)
+	// Breaker arms a circuit breaker over transport-class failures so
+	// a dead or blackholed endpoint fails fast instead of burning a
+	// timeout per attempt. The zero value disables it; see
+	// BreakerOptions.
+	Breaker BreakerOptions
+	// Hedge, when positive, arms hedged requests: if an attempt has
+	// not answered after this delay, a second identical attempt — same
+	// MessageID, so the service's replay cache deduplicates the loser
+	// — is launched, and the first response wins while the other is
+	// canceled. 0 disables hedging.
+	Hedge time.Duration
+	// Now overrides the breaker's clock (tests).
+	Now func() time.Time
 	// Transport overrides the HTTP transport (tests).
 	Transport http.RoundTripper
 	// Trace, when non-nil, counts retries (gram.client.retries),
-	// attempt timeouts (gram.client.timeouts), and BUSY shed responses
-	// observed (gram.client.busy).
+	// attempt timeouts (gram.client.timeouts), BUSY shed responses
+	// observed (gram.client.busy), hedged attempts launched
+	// (gram.client.hedges) and won (gram.client.hedge_wins), plus the
+	// breaker transitions documented in breaker.go (gram.breaker.*).
 	Trace *obs.Trace
 }
 
@@ -63,9 +81,13 @@ type Client struct {
 	// "<sender>-1" and replay each other's responses.
 	nonce uint64
 
-	cRetries  *obs.Counter
-	cTimeouts *obs.Counter
-	cBusy     *obs.Counter
+	breaker *breaker
+
+	cRetries   *obs.Counter
+	cTimeouts  *obs.Counter
+	cBusy      *obs.Counter
+	cHedges    *obs.Counter
+	cHedgeWins *obs.Counter
 }
 
 // NewClient builds a client with default options: 30 s per-attempt
@@ -89,9 +111,6 @@ func NewClientOptions(baseURL, sender string, opt ClientOptions) *Client {
 	if opt.Jitter == nil {
 		opt.Jitter = rand.Float64
 	}
-	if opt.Sleep == nil {
-		opt.Sleep = time.Sleep
-	}
 	c := &Client{
 		base:  baseURL,
 		http:  &http.Client{Timeout: opt.Timeout, Transport: opt.Transport},
@@ -99,13 +118,20 @@ func NewClientOptions(baseURL, sender string, opt ClientOptions) *Client {
 		name:  sender,
 		nonce: rand.Uint64(),
 	}
+	c.breaker = newBreaker(opt.Breaker, opt.Now, opt.Trace)
 	if tr := opt.Trace; tr != nil {
 		c.cRetries = tr.Counter("gram.client.retries")
 		c.cTimeouts = tr.Counter("gram.client.timeouts")
 		c.cBusy = tr.Counter("gram.client.busy")
+		c.cHedges = tr.Counter("gram.client.hedges")
+		c.cHedgeWins = tr.Counter("gram.client.hedge_wins")
 	}
 	return c
 }
+
+// BreakerState reports the circuit breaker's current state for
+// diagnostics: "closed", "open", "half-open", or "disabled".
+func (c *Client) BreakerState() string { return c.breaker.State() }
 
 // backoff returns the jittered exponential backoff before retry
 // attempt n (1-based): base*2^(n-1) capped at RetryMax, spread over
@@ -116,6 +142,25 @@ func (c *Client) backoff(n int) time.Duration {
 		d = c.opt.RetryMax
 	}
 	return d/2 + time.Duration(c.opt.Jitter()*float64(d/2))
+}
+
+// sleep waits out a backoff, or returns early with the context's error
+// if the caller gives up first — a canceled call must not sit out a
+// multi-second backoff before noticing. An injected Sleep (fake clock)
+// runs to completion, then the context is still checked.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.opt.Sleep != nil {
+		c.opt.Sleep(d)
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // call runs one operation with retries. The envelope — and with it
@@ -139,12 +184,22 @@ func (c *Client) call(ctx context.Context, body Body) (*Response, error) {
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			c.cRetries.Inc()
-			c.opt.Sleep(c.backoff(attempt))
+			if err := c.sleep(ctx, c.backoff(attempt)); err != nil {
+				return nil, &TransportError{Op: "post", Err: err}
+			}
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, &TransportError{Op: "post", Err: err}
 		}
-		resp, err := c.attempt(ctx, raw)
+		// The breaker gates every attempt: while open, calls fail fast
+		// with ErrCircuitOpen instead of burning a timeout against a
+		// dead endpoint. ErrCircuitOpen is final for this call — retry
+		// loops spinning on an open breaker would defeat its purpose.
+		if err := c.breaker.allow(); err != nil {
+			return nil, err
+		}
+		resp, err := c.exchange(ctx, raw)
+		c.breaker.report(err)
 		if err == nil {
 			return resp, nil
 		}
@@ -158,6 +213,65 @@ func (c *Client) call(ctx context.Context, body Body) (*Response, error) {
 		}
 		if attempt >= c.opt.Retries || !retryable(err) {
 			return nil, lastErr
+		}
+	}
+}
+
+// exchange performs one logical exchange: a single attempt, or — when
+// hedging is armed — a primary attempt raced against a delayed
+// identical copy. Both carry the same MessageID, so the service's
+// replay cache deduplicates whichever loses; the loser's context is
+// canceled the moment a winner returns.
+func (c *Client) exchange(ctx context.Context, raw []byte) (*Response, error) {
+	if c.opt.Hedge <= 0 {
+		return c.attempt(ctx, raw)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type outcome struct {
+		resp   *Response
+		err    error
+		hedged bool
+	}
+	results := make(chan outcome, 2) // buffered: the loser must not leak its goroutine
+	launch := func(hedged bool) {
+		r, err := c.attempt(hctx, raw)
+		results <- outcome{r, err, hedged}
+	}
+	go launch(false)
+	inFlight, hedgeArmed := 1, true
+	timer := time.NewTimer(c.opt.Hedge)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if hedgeArmed {
+				hedgeArmed = false
+				c.cHedges.Inc()
+				inFlight++
+				go launch(true)
+			}
+		case o := <-results:
+			inFlight--
+			if o.err == nil {
+				if o.hedged {
+					c.cHedgeWins.Inc()
+				}
+				return o.resp, nil
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if hedgeArmed {
+				// The primary failed before the hedge deadline: a
+				// hedge would just repeat the same failure — surface
+				// it and let the retry loop back off instead.
+				return nil, o.err
+			}
+			if inFlight == 0 {
+				return nil, firstErr
+			}
 		}
 	}
 }

@@ -17,6 +17,21 @@ import (
 // 503.
 var ErrBusy = errors.New("middleware: service busy")
 
+// ErrLate reports that the daemon's admission control dropped the
+// request because it could not meet its walltime-to-schedule budget
+// (HTTP 429). The request was NOT enqueued; back off harder than for
+// ErrBusy — the queue is over its delay budget, not merely full.
+// errors.Is(err, ErrLate) also matches the *StatusError carrying a
+// 429.
+var ErrLate = errors.New("middleware: admission control dropped request")
+
+// ErrCircuitOpen reports that the client's circuit breaker is open:
+// the endpoint failed enough consecutive transport attempts that calls
+// now fail fast without touching the network, until a half-open probe
+// succeeds. Never retried by the same call — failing fast is the
+// point.
+var ErrCircuitOpen = errors.New("middleware: circuit open")
+
 // TransportError wraps a failure of the HTTP exchange itself: dialing
 // (connection refused), a dropped connection, or a timeout. The
 // request may or may not have reached the service — retrying is safe
@@ -41,7 +56,7 @@ func (e *TransportError) Timeout() bool {
 }
 
 // StatusError reports a non-200 HTTP response. A 503 additionally
-// matches ErrBusy via errors.Is.
+// matches ErrBusy, and a 429 matches ErrLate, via errors.Is.
 type StatusError struct {
 	Code int
 	Body string
@@ -51,9 +66,16 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("middleware: HTTP %d: %s", e.Code, e.Body)
 }
 
-// Is makes errors.Is(err, ErrBusy) true for 503 responses.
+// Is makes errors.Is(err, ErrBusy) true for 503 responses and
+// errors.Is(err, ErrLate) true for 429 responses.
 func (e *StatusError) Is(target error) bool {
-	return target == ErrBusy && e.Code == 503
+	switch target {
+	case ErrBusy:
+		return e.Code == 503
+	case ErrLate:
+		return e.Code == 429
+	}
+	return false
 }
 
 // DecodeError reports a 200 response whose body was not a valid
@@ -75,14 +97,33 @@ type ServiceError struct {
 
 func (e *ServiceError) Error() string { return "middleware: service error: " + e.Reason }
 
+// ErrorClass buckets a client error for load reports: "busy", "late",
+// "breaker", "transport", or "" for anything else (the caller's
+// default bucket).
+func ErrorClass(err error) string {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return "busy"
+	case errors.Is(err, ErrLate):
+		return "late"
+	case errors.Is(err, ErrCircuitOpen):
+		return "breaker"
+	}
+	var te *TransportError
+	if errors.As(err, &te) {
+		return "transport"
+	}
+	return ""
+}
+
 // retryable reports whether a call error is worth retrying: transport
 // failures (the exchange may simply have been unlucky) and explicit
-// busy shedding (the service asked for a backoff). Service faults and
-// malformed responses are deterministic and final.
+// shedding (BUSY/LATE ask for a backoff). Service faults, malformed
+// responses, and an open circuit are deterministic and final.
 func retryable(err error) bool {
 	var te *TransportError
 	if errors.As(err, &te) {
 		return true
 	}
-	return errors.Is(err, ErrBusy)
+	return errors.Is(err, ErrBusy) || errors.Is(err, ErrLate)
 }

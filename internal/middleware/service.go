@@ -46,7 +46,8 @@ type ServiceConfig struct {
 	// operation on the SOAP-envelope path (gram.latency.submit,
 	// gram.latency.cancel, gram.latency.status), the gram.errors
 	// counter for failed transactions, gram.shed for requests shed
-	// with 503 BUSY, and gram.idem_hits for deduplicated retries.
+	// with 503 BUSY, gram.late for admission-control drops answered
+	// 429 LATE, and gram.idem_hits for deduplicated retries.
 	Trace *obs.Trace
 	// IdempotencyWindow bounds the replay cache of recent mutating
 	// transactions, keyed by (sender, message ID): a retried submit or
@@ -79,6 +80,7 @@ type Service struct {
 	hStatus  *obs.Histogram
 	cErrors  *obs.Counter
 	cShed    *obs.Counter
+	cLate    *obs.Counter
 	cIdemHit *obs.Counter
 }
 
@@ -116,6 +118,7 @@ func NewService(cfg ServiceConfig) (*Service, error) {
 		s.hStatus = tr.Histogram("gram.latency.status")
 		s.cErrors = tr.Counter("gram.errors")
 		s.cShed = tr.Counter("gram.shed")
+		s.cLate = tr.Counter("gram.late")
 		s.cIdemHit = tr.Counter("gram.idem_hits")
 	}
 	s.mux.HandleFunc("/gram", s.handleGRAM)
@@ -160,23 +163,43 @@ func (s *Service) handleGRAM(w http.ResponseWriter, r *http.Request) {
 		case env.Body.Status != nil:
 			s.hStatus.Observe(elapsed)
 		}
-		if shed {
+		switch {
+		case shed == shedBusy:
 			s.cShed.Inc()
-		} else if !resp.OK {
+		case shed == shedLate:
+			s.cLate.Inc()
+		case !resp.OK:
 			s.cErrors.Inc()
 		}
 	}
-	if shed {
+	switch shed {
+	case shedBusy:
 		// Explicit load shedding: the request was NOT enqueued. 503
 		// tells the client to back off and retry, as opposed to a
 		// Fault, which is final.
 		http.Error(w, "BUSY", http.StatusServiceUnavailable)
 		s.txCount.Add(1)
 		return
+	case shedLate:
+		// Admission-control drop: the queue is over its delay budget,
+		// not merely out of slots. 429 gives clients a distinct signal
+		// to back off harder than for a 503.
+		http.Error(w, "LATE", http.StatusTooManyRequests)
+		s.txCount.Add(1)
+		return
 	}
 	s.reply(w, resp)
 	s.txCount.Add(1)
 }
+
+// shedVerdict classifies a request the backend refused to enqueue.
+type shedVerdict int
+
+const (
+	notShed  shedVerdict = iota
+	shedBusy             // queue slots full -> 503 BUSY
+	shedLate             // queue delay over the admission budget -> 429 LATE
+)
 
 // idemKey is the replay-cache key of a mutating transaction; empty
 // when the envelope is not deduplicable.
@@ -219,18 +242,19 @@ func (s *Service) remember(key string, resp *Response) {
 	}
 }
 
-// execute runs one transaction. The second return is true when the
-// request was shed (backend at its queue cap): the caller answers 503
-// BUSY, and nothing is cached — a retry should re-attempt, not replay.
-func (s *Service) execute(env *Envelope) (*Response, bool) {
+// execute runs one transaction. A non-notShed verdict means the
+// backend refused to enqueue the request (queue cap or admission
+// budget): the caller answers 503 BUSY or 429 LATE, and nothing is
+// cached — a retry should re-attempt, not replay.
+func (s *Service) execute(env *Envelope) (*Response, shedVerdict) {
 	key := idemKey(env)
 	if cached, ok := s.replay(key); ok {
 		s.cIdemHit.Inc()
-		return cached, false
+		return cached, notShed
 	}
 	if s.cfg.Security {
 		if err := s.authorize(env); err != nil {
-			return &Response{OK: false, Error: err.Error()}, false
+			return &Response{OK: false, Error: err.Error()}, notShed
 		}
 	}
 	switch {
@@ -238,24 +262,27 @@ func (s *Service) execute(env *Envelope) (*Response, bool) {
 		op := env.Body.Submit
 		if s.cfg.Durable {
 			if err := s.persist("submit", env); err != nil {
-				return &Response{OK: false, Error: err.Error()}, false
+				return &Response{OK: false, Error: err.Error()}, notShed
 			}
 		}
 		id, err := s.cfg.Backend.Submit(op.Name, op.Nodes,
 			time.Duration(op.Walltime*float64(time.Second)))
 		if errors.Is(err, pbsd.ErrBusy) {
-			return &Response{OK: false, Error: err.Error()}, true
+			return &Response{OK: false, Error: err.Error()}, shedBusy
+		}
+		if errors.Is(err, pbsd.ErrLate) {
+			return &Response{OK: false, Error: err.Error()}, shedLate
 		}
 		resp := &Response{OK: true, JobID: id}
 		if err != nil {
 			resp = &Response{OK: false, Error: err.Error()}
 		}
 		s.remember(key, resp)
-		return resp, false
+		return resp, notShed
 	case env.Body.Cancel != nil:
 		if s.cfg.Durable {
 			if err := s.persist("cancel", env); err != nil {
-				return &Response{OK: false, Error: err.Error()}, false
+				return &Response{OK: false, Error: err.Error()}, notShed
 			}
 		}
 		resp := &Response{OK: true}
@@ -263,12 +290,12 @@ func (s *Service) execute(env *Envelope) (*Response, bool) {
 			resp = &Response{OK: false, Error: err.Error()}
 		}
 		s.remember(key, resp)
-		return resp, false
+		return resp, notShed
 	case env.Body.Status != nil:
 		q, run, free := s.cfg.Backend.Stat()
-		return &Response{OK: true, Queued: q, Running: run, Free: free}, false
+		return &Response{OK: true, Queued: q, Running: run, Free: free}, notShed
 	default:
-		return &Response{OK: false, Error: "no operation"}, false
+		return &Response{OK: false, Error: "no operation"}, notShed
 	}
 }
 

@@ -1,11 +1,14 @@
 // Tests for graceful degradation: queue-cap shedding with BUSY
-// responses and the draining Listener.Close.
+// responses, deadline-budget admission control with LATE responses,
+// the draining Listener.Close, and race coverage for the shed and
+// DeleteHead paths under concurrent submit/cancel/Close.
 
 package pbsd
 
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -69,6 +72,172 @@ func TestQueueCapShedsOverTheWire(t *testing.T) {
 	}
 	if q, _, _, err := c.Stat(); err != nil || q != 1 {
 		t.Fatalf("queue after shed = %d (%v), want 1", q, err)
+	}
+}
+
+// Admission control: with a drain EWMA established, a queue whose
+// estimated wait exceeds the budget sheds with ErrLate — distinct from
+// ErrBusy — and the pbsd.late counter records it.
+func TestAdmissionBudgetShedsLate(t *testing.T) {
+	tr := obs.New()
+	srv, err := New(Config{Nodes: 16, AdmitBudget: time.Millisecond, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Build a deep queue, then teach the EWMA a slow drain: two
+	// deletes ~20 ms apart make the estimated wait for a 100-deep
+	// queue ~2 s >> the 1 ms budget.
+	for i := 0; i < 102; i++ {
+		if _, err := srv.Submit("preload", 1, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.DeleteHead(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := srv.DeleteHead(); err != nil {
+		t.Fatal(err)
+	}
+	_, err = srv.Submit("late", 1, time.Hour)
+	if !errors.Is(err, ErrLate) {
+		t.Fatalf("submit past the budget: err = %v, want ErrLate", err)
+	}
+	if errors.Is(err, ErrBusy) {
+		t.Fatal("ErrLate must be distinct from ErrBusy")
+	}
+	if got := tr.Snapshot().Counter("pbsd.late"); got != 1 {
+		t.Fatalf("pbsd.late = %d, want 1", got)
+	}
+	// Draining the queue re-opens admission: with nothing pending the
+	// estimated wait is zero regardless of the EWMA.
+	for {
+		if _, err := srv.DeleteHead(); err != nil {
+			break
+		}
+	}
+	if _, err := srv.Submit("ok-again", 1, time.Hour); err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+// The LATE verdict has its own wire shape, distinct from BUSY and ERR,
+// and the client maps it back to ErrLate.
+func TestAdmissionBudgetLateOverTheWire(t *testing.T) {
+	srv, err := New(Config{Nodes: 16, AdmitBudget: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := Serve(srv, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { ln.Close(); srv.Close() }()
+	c, err := Dial(ln.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Prime queue + EWMA so the next submit estimates over budget.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Submit("p", 1, time.Hour); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.DeleteHead(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.DeleteHead(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("late", 1, time.Hour); !errors.Is(err, ErrLate) {
+		t.Fatalf("wire submit past budget: err = %v, want ErrLate", err)
+	}
+	// The connection survives a LATE, like a BUSY.
+	if err := c.Ping(); err != nil {
+		t.Fatalf("ping after LATE: %v", err)
+	}
+}
+
+// Race coverage for the shed/BUSY path: many goroutines hammer Submit
+// against a tiny cap while others drain with DeleteHead and Delete and
+// the server finally Closes mid-traffic. Run under -race; the
+// assertions are liveness (no deadlock, clean exits) and conservation
+// (every successful submit is eventually deleted or still pending).
+func TestConcurrentShedDeleteHeadClose(t *testing.T) {
+	srv, err := New(Config{Nodes: 16, MaxQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		wg        sync.WaitGroup
+		submitted atomic.Int64
+		deleted   atomic.Int64
+		busy      atomic.Int64
+	)
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id, err := srv.Submit(fmt.Sprintf("w%d-%d", w, i), 1, time.Hour)
+				switch {
+				case err == nil:
+					submitted.Add(1)
+					if rng.Intn(2) == 0 {
+						if srv.Delete(id) == nil {
+							deleted.Add(1)
+						}
+					}
+				case errors.Is(err, ErrBusy):
+					busy.Add(1)
+				default:
+					return // server closed
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := srv.DeleteHead(); err == nil {
+					deleted.Add(1)
+				}
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close under load: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	if submitted.Load() == 0 || busy.Load() == 0 {
+		t.Fatalf("exercised too little: %d submits, %d busy", submitted.Load(), busy.Load())
+	}
+	q, _, _ := srv.Stat()
+	if pending := submitted.Load() - deleted.Load(); pending != int64(q) {
+		t.Fatalf("conservation: %d submitted - %d deleted = %d, but queue holds %d",
+			submitted.Load(), deleted.Load(), pending, q)
+	}
+	if q > 4 {
+		t.Fatalf("queue %d exceeded its cap 4", q)
 	}
 }
 

@@ -1,12 +1,36 @@
 // Job journaling: PBS persists a file per job under its spool
-// directory; the journal reproduces that per-submission disk cost.
+// directory; the journal reproduces that per-submission disk cost —
+// and, since it records the whole queue-changing event stream, it
+// doubles as a write-ahead log: a daemon restarted over the same
+// directory replays the log and recovers its pending queue exactly
+// (ids, resources, submit order).
+//
+// The log is line-oriented, one event per line:
+//
+//	S <id> <nodes> <walltime-ns> <submit-unixnano> <name>
+//	D <id>          job deleted while queued (qdel / qdelhead)
+//	R <id>          job started (acquired nodes)
+//	C <id>          job completed or was killed at its walltime
+//
+// Replay semantics: a job is pending after recovery iff an S was
+// recorded and no D or C followed. A started-but-uncompleted job (R
+// without C) is REQUEUED at its original queue position — its nodes
+// died with the daemon, which is what PBS does for jobs without
+// checkpoints. A torn final line (the crash happened mid-write) is
+// ignored; anything malformed earlier is a corrupt journal and fails
+// recovery loudly rather than silently dropping jobs.
 
 package pbsd
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
 )
 
 type journal struct {
@@ -15,21 +39,141 @@ type journal struct {
 	n    int
 }
 
-func newJournal(dir string) (*journal, error) {
+// openJournal replays any existing log under dir and returns the
+// journal (opened for appending), the recovered pending jobs in queue
+// order, and the highest job ID ever issued.
+func openJournal(dir string) (*journal, []*Job, int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("pbsd: journal: %w", err)
+		return nil, nil, 0, fmt.Errorf("pbsd: journal: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, "jobs.log"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(dir, "jobs.log")
+	pending, maxID, err := replay(path)
 	if err != nil {
-		return nil, fmt.Errorf("pbsd: journal: %w", err)
+		return nil, nil, 0, err
 	}
-	return &journal{dir: dir, file: f}, nil
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("pbsd: journal: %w", err)
+	}
+	return &journal{dir: dir, file: f}, pending, maxID, nil
+}
+
+// replay reconstructs the pending queue from the event log at path.
+func replay(path string) ([]*Job, int64, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("pbsd: journal replay: %w", err)
+	}
+	defer f.Close()
+
+	jobs := make(map[int64]*Job)
+	var order []int64 // submit order, including since-removed ids
+	var maxID int64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		job, id, kind, err := parseEvent(line)
+		if err != nil {
+			// A torn final line is the expected signature of a crash
+			// mid-write; anything malformed before the end is corruption.
+			if !sc.Scan() {
+				break
+			}
+			return nil, 0, fmt.Errorf("pbsd: journal replay: line %d: %v", lineno, err)
+		}
+		switch kind {
+		case 'S':
+			if id > maxID {
+				maxID = id
+			}
+			if _, dup := jobs[id]; dup {
+				return nil, 0, fmt.Errorf("pbsd: journal replay: line %d: duplicate submit for job %d", lineno, id)
+			}
+			jobs[id] = job
+			order = append(order, id)
+		case 'D', 'C':
+			delete(jobs, id)
+		case 'R':
+			// Started but never completed: requeue on recovery. The job
+			// stays in the map at its original position.
+			if j, ok := jobs[id]; ok {
+				j.State = Queued
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("pbsd: journal replay: %w", err)
+	}
+	pending := make([]*Job, 0, len(jobs))
+	for _, id := range order {
+		if j, ok := jobs[id]; ok {
+			pending = append(pending, j)
+		}
+	}
+	return pending, maxID, nil
+}
+
+// parseEvent decodes one journal line into its event kind, job id,
+// and (for submits) the job itself.
+func parseEvent(line string) (*Job, int64, byte, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil, 0, 0, fmt.Errorf("truncated event %q", line)
+	}
+	kind := fields[0]
+	id, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil || id <= 0 {
+		return nil, 0, 0, fmt.Errorf("bad job id in %q", line)
+	}
+	switch kind {
+	case "D", "R", "C":
+		return nil, id, kind[0], nil
+	case "S":
+		if len(fields) < 6 {
+			return nil, 0, 0, fmt.Errorf("truncated submit %q", line)
+		}
+		nodes, err := strconv.Atoi(fields[2])
+		if err != nil || nodes < 1 {
+			return nil, 0, 0, fmt.Errorf("bad nodes in %q", line)
+		}
+		wallNS, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil || wallNS <= 0 {
+			return nil, 0, 0, fmt.Errorf("bad walltime in %q", line)
+		}
+		submitNS, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, 0, 0, fmt.Errorf("bad submit time in %q", line)
+		}
+		return &Job{
+			ID:       id,
+			Name:     strings.Join(fields[5:], " "),
+			Nodes:    nodes,
+			Walltime: time.Duration(wallNS),
+			Submit:   time.Unix(0, submitNS),
+			State:    Queued,
+		}, id, 'S', nil
+	default:
+		return nil, 0, 0, fmt.Errorf("unknown event kind %q", kind)
+	}
 }
 
 func (j *journal) record(job *Job) error {
-	_, err := fmt.Fprintf(j.file, "%d %s %d %d %d\n",
-		job.ID, job.Name, job.Nodes, int64(job.Walltime.Seconds()), job.Submit.UnixNano())
-	if err != nil {
+	return j.append(fmt.Sprintf("S %d %d %d %d %s\n",
+		job.ID, job.Nodes, int64(job.Walltime), job.Submit.UnixNano(), sanitizeName(job.Name)))
+}
+
+func (j *journal) recordDelete(id int64) error   { return j.append(fmt.Sprintf("D %d\n", id)) }
+func (j *journal) recordStart(id int64) error    { return j.append(fmt.Sprintf("R %d\n", id)) }
+func (j *journal) recordComplete(id int64) error { return j.append(fmt.Sprintf("C %d\n", id)) }
+
+func (j *journal) append(line string) error {
+	if _, err := io.WriteString(j.file, line); err != nil {
 		return fmt.Errorf("pbsd: journal write: %w", err)
 	}
 	j.n++
@@ -39,6 +183,17 @@ func (j *journal) record(job *Job) error {
 		}
 	}
 	return nil
+}
+
+// sanitizeName keeps job names single-line so they cannot forge
+// journal events; interior whitespace is preserved by the replay's
+// rejoin, newlines are flattened.
+func sanitizeName(name string) string {
+	if !strings.ContainsAny(name, "\n\r") {
+		return name
+	}
+	name = strings.ReplaceAll(name, "\n", " ")
+	return strings.ReplaceAll(name, "\r", " ")
 }
 
 func (j *journal) close() error {

@@ -1,7 +1,7 @@
 // TCP line protocol for the daemon: the qsub/qdel path the Figure 5
 // harness saturates. Commands and responses are single lines:
 //
-//	QSUB <nodes> <walltime-seconds> <name>  ->  OK <jobid> | ERR <msg>
+//	QSUB <nodes> <walltime-seconds> <name>  ->  OK <jobid> | BUSY | LATE | ERR <msg>
 //	QDEL <jobid>                            ->  OK | ERR <msg>
 //	QDELHEAD                                ->  OK <jobid> | ERR <msg>
 //	QSTAT                                   ->  OK <queued> <running> <free>
@@ -216,6 +216,11 @@ func (l *Listener) serveCommand(line string) string {
 			// error counters stay clean.
 			return "BUSY"
 		}
+		if errors.Is(err, ErrLate) {
+			// Admission-control drop: distinct from BUSY so clients can
+			// tell "queue slots full" from "queue delay past budget".
+			return "LATE"
+		}
 		if err != nil {
 			return "ERR " + err.Error()
 		}
@@ -284,6 +289,9 @@ func (c *Client) roundTrip(cmd string) (string, error) {
 	resp := c.r.Text()
 	if resp == "BUSY" {
 		return "", ErrBusy
+	}
+	if resp == "LATE" {
+		return "", ErrLate
 	}
 	if strings.HasPrefix(resp, "ERR") {
 		return "", fmt.Errorf("pbsd: %s", strings.TrimSpace(strings.TrimPrefix(resp, "ERR")))

@@ -78,15 +78,27 @@ type Config struct {
 	// priority function: queue-time seconds plus weighted node count.
 	PriorityQueueWeight float64
 	PrioritySizeWeight  float64
-	// JournalDir, when set, persists a record per accepted job on
+	// JournalDir, when set, persists every queue-changing event on
 	// disk (PBS keeps job files under its spool); adds realistic I/O
-	// to every submission.
+	// to every submission, and doubles as a write-ahead log: a daemon
+	// constructed over a directory with an existing journal replays it
+	// and recovers its pending queue exactly (see journal.go).
 	JournalDir string
 	// MaxQueue caps the pending-queue length; submissions past the
 	// cap are shed with ErrBusy (a BUSY response on the wire) instead
 	// of growing the queue — and the per-operation scheduling cost —
 	// without bound. 0 means unlimited.
 	MaxQueue int
+	// AdmitBudget, when positive, is the walltime-to-schedule budget
+	// for CoDel-style admission control: an arriving submission is
+	// dropped with ErrLate (a distinct LATE wire response) when its
+	// estimated wait to reach the head of the queue — current queue
+	// length times an EWMA of the recent per-job drain interval —
+	// already exceeds the budget. Where MaxQueue protects queue
+	// *slots*, AdmitBudget protects queue *delay*: under a slow drain
+	// it sheds far before the cap, and under a fast drain it admits
+	// deep queues that will still clear in time.
+	AdmitBudget time.Duration
 	// WriteTimeout bounds each response write on the TCP path so one
 	// stalled client cannot pin a handler goroutine forever; 0 uses
 	// a 10 s default.
@@ -115,7 +127,15 @@ type Server struct {
 	cycles  uint64
 	scanned uint64
 
-	journal *journal
+	journal   *journal
+	recovered int
+
+	// Admission-control drain tracking: an EWMA of the interval
+	// between queue-draining events (deletes, starts), in seconds, and
+	// the wall-clock time of the last one. Zero until two drains have
+	// been observed, during which admission control stays open.
+	drainEWMA float64
+	lastDrain time.Time
 
 	// Protocol-path instruments (nil when tracing is off); resolved
 	// once at New so the dispatch loop pays no map lookups.
@@ -123,6 +143,7 @@ type Server struct {
 	cProtoErrors *obs.Counter
 	cLineTooLong *obs.Counter
 	cShed        *obs.Counter
+	cLate        *obs.Counter
 }
 
 // ErrUnknownJob is returned by Delete for nonexistent or finished jobs.
@@ -135,6 +156,13 @@ var ErrTooLarge = errors.New("pbsd: request exceeds node pool")
 // configured cap: the daemon sheds the request instead of degrading.
 // Callers should back off and retry.
 var ErrBusy = errors.New("pbsd: queue full")
+
+// ErrLate is returned by Submit when admission control estimates the
+// request cannot meet its walltime-to-schedule budget (a LATE response
+// on the wire): the queue is draining too slowly for a new arrival to
+// reach the scheduler in time, so accepting it would only add dead
+// weight. Callers should back off harder than for ErrBusy.
+var ErrLate = errors.New("pbsd: queue delay exceeds admission budget")
 
 // New creates a daemon with the given configuration.
 func New(cfg Config) (*Server, error) {
@@ -152,11 +180,17 @@ func New(cfg Config) (*Server, error) {
 		running: make(map[int64]*Job),
 	}
 	if cfg.JournalDir != "" {
-		j, err := newJournal(cfg.JournalDir)
+		j, pending, maxID, err := openJournal(cfg.JournalDir)
 		if err != nil {
 			return nil, err
 		}
 		s.journal = j
+		s.nextID = maxID
+		for _, job := range pending {
+			job.elem = s.queue.PushBack(job)
+			s.jobs[job.ID] = job
+		}
+		s.recovered = len(pending)
 	}
 	if tr := cfg.Trace; tr != nil {
 		s.hLatency = make(map[string]*obs.Histogram)
@@ -166,6 +200,14 @@ func New(cfg Config) (*Server, error) {
 		s.cProtoErrors = tr.Counter("pbsd.errors")
 		s.cLineTooLong = tr.Counter("pbsd.errors.line_too_long")
 		s.cShed = tr.Counter("pbsd.shed")
+		s.cLate = tr.Counter("pbsd.late")
+		tr.Counter("pbsd.recovered").Add(int64(s.recovered))
+	}
+	if s.recovered > 0 {
+		// Recovered jobs compete for nodes again immediately.
+		s.mu.Lock()
+		s.cycle()
+		s.mu.Unlock()
 	}
 	return s, nil
 }
@@ -187,6 +229,13 @@ func (s *Server) Submit(name string, nodes int, walltime time.Duration) (int64, 
 	if s.cfg.MaxQueue > 0 && s.queue.Len() >= s.cfg.MaxQueue {
 		s.cShed.Inc()
 		return 0, ErrBusy
+	}
+	if s.cfg.AdmitBudget > 0 && s.drainEWMA > 0 {
+		wait := time.Duration(float64(s.queue.Len()) * s.drainEWMA * float64(time.Second))
+		if wait > s.cfg.AdmitBudget {
+			s.cLate.Inc()
+			return 0, ErrLate
+		}
 	}
 	s.nextID++
 	j := &Job{
@@ -221,9 +270,17 @@ func (s *Server) Delete(id int64) error {
 	if !ok || j.State != Queued {
 		return ErrUnknownJob
 	}
+	// Journal before mutating: a failed journal write leaves the job
+	// queued (and the log without a D), keeping log and queue aligned.
+	if s.journal != nil {
+		if err := s.journal.recordDelete(id); err != nil {
+			return err
+		}
+	}
 	j.State = Deleted
 	s.queue.Remove(j.elem)
 	delete(s.jobs, id)
+	s.noteDrain()
 	s.cycle()
 	return nil
 }
@@ -239,11 +296,33 @@ func (s *Server) DeleteHead() (int64, error) {
 		return 0, ErrUnknownJob
 	}
 	j := front.Value.(*Job)
+	if s.journal != nil {
+		if err := s.journal.recordDelete(j.ID); err != nil {
+			return 0, err
+		}
+	}
 	j.State = Deleted
 	s.queue.Remove(j.elem)
 	delete(s.jobs, j.ID)
+	s.noteDrain()
 	s.cycle()
 	return j.ID, nil
+}
+
+// noteDrain updates the admission-control drain EWMA on a
+// queue-draining event; callers hold s.mu.
+func (s *Server) noteDrain() {
+	now := time.Now()
+	if !s.lastDrain.IsZero() {
+		dt := now.Sub(s.lastDrain).Seconds()
+		if s.drainEWMA == 0 {
+			s.drainEWMA = dt
+		} else {
+			const alpha = 0.1
+			s.drainEWMA = (1-alpha)*s.drainEWMA + alpha*dt
+		}
+	}
+	s.lastDrain = now
 }
 
 // Stat returns queue, running, and free-node counts.
@@ -259,6 +338,28 @@ func (s *Server) Counters() (cycles, scanned uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.cycles, s.scanned
+}
+
+// Recovered reports how many pending jobs were replayed from the
+// journal when the daemon started.
+func (s *Server) Recovered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Pending returns a snapshot of the queued jobs in queue order (copies;
+// mutating them does not touch daemon state).
+func (s *Server) Pending() []Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Job, 0, s.queue.Len())
+	for e := s.queue.Front(); e != nil; e = e.Next() {
+		j := *e.Value.(*Job)
+		j.elem = nil
+		out = append(out, j)
+	}
+	return out
 }
 
 // Close shuts the daemon down and releases the journal.
@@ -348,6 +449,12 @@ func (s *Server) startLocked(j *Job, now time.Time) {
 	s.free -= j.Nodes
 	s.queue.Remove(j.elem)
 	s.running[j.ID] = j
+	// A start drains the queue like a delete does; a failed journal
+	// write here is tolerable (replay requeues R-without-C anyway).
+	if s.journal != nil {
+		s.journal.recordStart(j.ID)
+	}
+	s.noteDrain()
 	id := j.ID
 	time.AfterFunc(j.Walltime, func() { s.complete(id) })
 }
@@ -363,6 +470,9 @@ func (s *Server) complete(id int64) {
 	delete(s.running, id)
 	delete(s.jobs, id)
 	s.free += j.Nodes
+	if s.journal != nil {
+		s.journal.recordComplete(id)
+	}
 	s.cycle()
 }
 
