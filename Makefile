@@ -4,7 +4,7 @@ GO ?= go
 # (override: make bench BENCH_LABEL=pr3-after).
 BENCH_LABEL ?= dev
 
-.PHONY: build test check bench bench-all fmt results validate overload-smoke
+.PHONY: build test check bench bench-all fmt results validate overload-smoke overload-smoke-fast
 
 # Experiments recorded in results_full.txt: the registry minus sec4,
 # whose wall-clock measurements are not deterministic.
@@ -34,10 +34,12 @@ check:
 # bench runs the core simulator benchmarks and appends the numbers to
 # BENCH_core.json (jobs/s from BenchmarkSimulationCore, ns/op and
 # allocs/op from BenchmarkEngine, whole-registry wall-clock from
-# BenchmarkRegistryQuick), then prints the delta against the previous
+# BenchmarkRegistryQuick, daemon fast-vs-legacy pairs/s from
+# BenchmarkPBSDSubmitCancel, batched middleware pairs/s from
+# BenchmarkClientBatch), then prints the delta against the previous
 # entry. See README "Performance".
 bench:
-	$(GO) test -run=NONE -bench='SimulationCore$$|Engine|RegistryQuick$$|Routing' -benchmem . \
+	$(GO) test -run=NONE -bench='SimulationCore$$|Engine|RegistryQuick$$|Routing|PBSDSubmitCancel|ClientBatch' -benchmem . \
 		| $(GO) run ./cmd/benchjson -label '$(BENCH_LABEL)' -out BENCH_core.json
 
 # bench-all runs every benchmark (per-table/figure experiment drivers,
@@ -63,7 +65,13 @@ validate:
 # it is a liveness/race gate, not a results snapshot; finishes in a
 # few seconds.
 overload-smoke:
-	$(GO) run -race ./cmd/redsim -run overload -sweep 50 -q
+	$(GO) run -race ./cmd/redsim -run overload -sweep 50 -stack legacy -q
+
+# overload-smoke-fast is the same gate on the optimized stack only:
+# incremental scheduling cycles, group-committed journal, pooled
+# batched client. Exercises the fast path's concurrency under -race.
+overload-smoke-fast:
+	$(GO) run -race ./cmd/redsim -run overload -sweep 50 -stack fast -q
 
 # results regenerates results_full.txt through the registry dispatcher
 # (deterministic: fixed seeds, timing on stderr) and diffs it against

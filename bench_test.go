@@ -13,6 +13,7 @@ package redreq_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -340,6 +341,95 @@ func BenchmarkPBSDDirect(b *testing.B) {
 		if _, err := srv.DeleteHead(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkPBSDSubmitCancel is the fast-path acceptance benchmark:
+// submit + delete-head churn against a 1000-deep queue in the
+// incremental scheduling mode vs the paper-faithful full-scan mode.
+// The full scan pays O(queue) per operation by design (that collapse
+// IS Figure 5); the incremental cycle must hold per-operation work
+// flat, so the mode=incremental series should beat mode=fullscan by a
+// wide multiple at this depth.
+func BenchmarkPBSDSubmitCancel(b *testing.B) {
+	const depth = 1000
+	for _, mode := range []string{"incremental", "fullscan"} {
+		b.Run("mode="+mode, func(b *testing.B) {
+			srv, err := pbsd.New(pbsd.Config{Nodes: 16, FullScanCycle: mode == "fullscan"})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			for i := 0; i < depth; i++ {
+				if _, err := srv.Submit("pre", 1, time.Hour); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Submit("bench", 1, time.Hour); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := srv.DeleteHead(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+// BenchmarkClientBatch measures the batched middleware path: each
+// iteration pushes ops submit+cancel pairs through the real HTTP
+// service as one SubmitBatch plus one CancelBatch envelope on a
+// pooled pre-warmed client. ops=1 is the envelope-overhead floor;
+// larger ops amortize the round trip, so pairs/s should climb with
+// the batch size.
+func BenchmarkClientBatch(b *testing.B) {
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer backend.Close()
+	svc, err := middleware.NewService(middleware.ServiceConfig{Backend: backend})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	ep, err := middleware.Start(svc, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ep.Close()
+	for _, ops := range []int{1, 8} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			client := middleware.NewClient(ep.URL, fmt.Sprintf("bench-batch-%d", ops))
+			if err := client.Warm(context.Background(), 4); err != nil {
+				b.Fatal(err)
+			}
+			jobs := make([]middleware.BatchJob, ops)
+			for i := range jobs {
+				jobs[i] = middleware.BatchJob{Name: "bench-job", Nodes: 1, Walltime: time.Hour}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				subs, err := client.SubmitBatch(jobs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ids := make([]int64, len(subs))
+				for j, r := range subs {
+					if e := r.Err(); e != nil {
+						b.Fatal(e)
+					}
+					ids[j] = r.JobID
+				}
+				if _, err := client.CancelBatch(ids); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*ops)/b.Elapsed().Seconds(), "pairs/s")
+		})
 	}
 }
 

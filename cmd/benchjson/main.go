@@ -173,6 +173,31 @@ func checkHistory(path string) error {
 					return fmt.Errorf("%s: entry %q: %s lacks the jobs/s metric", path, e.Label, b.Name)
 				}
 			}
+			// The daemon fast-path series: PBSDSubmitCancel/mode=
+			// incremental|fullscan, recording pairs/s — the cross-PR
+			// record of the scheduling-cycle optimization.
+			if rest, ok := strings.CutPrefix(b.Name, "PBSDSubmitCancel/"); ok {
+				mode := strings.TrimPrefix(rest, "mode=")
+				if !strings.HasPrefix(rest, "mode=") || (mode != "incremental" && mode != "fullscan") {
+					return fmt.Errorf("%s: entry %q: malformed daemon benchmark name %q (want PBSDSubmitCancel/mode=incremental|fullscan)",
+						path, e.Label, b.Name)
+				}
+				if _, ok := b.Metrics["pairs/s"]; !ok {
+					return fmt.Errorf("%s: entry %q: %s lacks the pairs/s metric", path, e.Label, b.Name)
+				}
+			}
+			// The batched middleware series: ClientBatch/ops=<positive
+			// int>, also recording pairs/s.
+			if rest, ok := strings.CutPrefix(b.Name, "ClientBatch/"); ok {
+				n, err := strconv.Atoi(strings.TrimPrefix(rest, "ops="))
+				if !strings.HasPrefix(rest, "ops=") || err != nil || n < 1 {
+					return fmt.Errorf("%s: entry %q: malformed batch benchmark name %q (want ClientBatch/ops=N)",
+						path, e.Label, b.Name)
+				}
+				if _, ok := b.Metrics["pairs/s"]; !ok {
+					return fmt.Errorf("%s: entry %q: %s lacks the pairs/s metric", path, e.Label, b.Name)
+				}
+			}
 		}
 	}
 	return nil

@@ -16,6 +16,8 @@ cpu: test
 BenchmarkSimulationCore-8   	      10	 100000000 ns/op	        52341 jobs/s
 BenchmarkEngine/trace=off-8 	       5	 200000000 ns/op
 BenchmarkEngineSharded/shards=2-8 	       3	 150000000 ns/op	       180000 jobs/s
+BenchmarkPBSDSubmitCancel/mode=incremental-8 	 1000000	       400 ns/op	     2500000 pairs/s
+BenchmarkClientBatch/ops=8-8 	    1000	    350000 ns/op	       22000 pairs/s
 PASS
 `
 
@@ -66,8 +68,8 @@ func TestRecordAndDelta(t *testing.T) {
 	if len(hist.Entries) != 2 || hist.Entries[0].Label != "before" || hist.Entries[1].Label != "after" {
 		t.Fatalf("history entries: %+v", hist.Entries)
 	}
-	if n := len(hist.Entries[0].Benchmarks); n != 3 {
-		t.Errorf("entry recorded %d benchmarks, want 3", n)
+	if n := len(hist.Entries[0].Benchmarks); n != 5 {
+		t.Errorf("entry recorded %d benchmarks, want 5", n)
 	}
 	if v := hist.Entries[1].Benchmarks[0].Metrics["jobs/s"]; v != 104682 {
 		t.Errorf("jobs/s = %v, want 104682", v)
@@ -93,6 +95,13 @@ func TestCheckMode(t *testing.T) {
 		// and a jobs/s metric.
 		"shardname.json": `{"entries": [{"label": "x", "benchmarks": [{"name": "EngineSharded/shards=zero", "metrics": {"jobs/s": 1}}]}]}`,
 		"shardjobs.json": `{"entries": [{"label": "x", "benchmarks": [{"name": "EngineSharded/shards=2", "metrics": {"ns/op": 1}}]}]}`,
+		// The daemon fast-path series: mode=incremental|fullscan and a
+		// pairs/s metric.
+		"pbsdmode.json":  `{"entries": [{"label": "x", "benchmarks": [{"name": "PBSDSubmitCancel/mode=turbo", "metrics": {"pairs/s": 1}}]}]}`,
+		"pbsdpairs.json": `{"entries": [{"label": "x", "benchmarks": [{"name": "PBSDSubmitCancel/mode=incremental", "metrics": {"ns/op": 1}}]}]}`,
+		// The batched middleware series: ops=N and a pairs/s metric.
+		"batchops.json":   `{"entries": [{"label": "x", "benchmarks": [{"name": "ClientBatch/ops=none", "metrics": {"pairs/s": 1}}]}]}`,
+		"batchpairs.json": `{"entries": [{"label": "x", "benchmarks": [{"name": "ClientBatch/ops=8", "metrics": {"ns/op": 1}}]}]}`,
 	}
 	for name, content := range bad {
 		path := filepath.Join(dir, name)

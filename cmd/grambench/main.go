@@ -54,6 +54,7 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 		deadline  = fs.Duration("deadline", 2*time.Second, "per-request deadline")
 		durable   = fs.Bool("durable", false, "overload sweep: durable per-transaction state")
 		security  = fs.Bool("security", false, "overload sweep: message-level security")
+		batch     = fs.Bool("batch", false, "overload sweep: batch each logical request's r copies into single SubmitBatch/CancelBatch envelopes over a pooled pre-warmed client")
 	)
 	if err := fs.Parse(argv); err != nil {
 		return 2 // the flag set already printed the error and usage
@@ -154,9 +155,13 @@ func run(ctx context.Context, argv []string, stdout, stderr io.Writer) int {
 	} else if *security {
 		mode = "security"
 	}
+	if *batch {
+		mode += ", batched"
+	}
 	ot := report.NewTable(fmt.Sprintf("overload response (%s mode, open-loop rate × redundancy)", mode),
 		"rate", "r", "offered/s", "goodput/s", "p50 s", "p95 s", "p99 s", "loss %", "errors")
 	stopped := false
+	gen.batch = *batch
 sweep:
 	for _, rate := range sweepRates {
 		for _, r := range rs {
@@ -195,6 +200,10 @@ type genConfig struct {
 	dur      time.Duration
 	inflight int
 	deadline time.Duration
+	// batch collapses each logical request's r copies into one
+	// SubmitBatch plus one CancelBatch envelope on a pooled pre-warmed
+	// client, instead of r independent submit+cancel round trips.
+	batch bool
 }
 
 // measure drives one open-loop point — rate logical pairs/s, r copies
@@ -232,22 +241,67 @@ func measure(ctx context.Context, durable, security bool, rate float64, r int, g
 	cl := middleware.NewClientOptions(ep.URL, "grambench", middleware.ClientOptions{
 		Timeout: gen.deadline,
 	})
-	return loadgen.Run(ctx, loadgen.Config{
+	cfg := loadgen.Config{
 		Rate:        rate,
 		Arrivals:    gen.law,
 		Duration:    gen.dur,
 		Redundancy:  r,
 		MaxInFlight: gen.inflight,
 		Deadline:    gen.deadline,
-		Do: func(ctx context.Context, _ loadgen.Request) error {
+		Classify:    middleware.ErrorClass,
+	}
+	if gen.batch {
+		if err := cl.Warm(ctx, 16); err != nil {
+			return loadgen.Result{}, err
+		}
+		cfg.DoBatch = func(ctx context.Context, _, copies int) error {
+			return batchPair(ctx, cl, copies)
+		}
+	} else {
+		cfg.Do = func(ctx context.Context, _ loadgen.Request) error {
 			id, err := cl.SubmitContext(ctx, "open", 1, time.Hour)
 			if err != nil {
 				return err
 			}
 			return cl.CancelContext(ctx, id)
-		},
-		Classify: middleware.ErrorClass,
-	})
+		}
+	}
+	return loadgen.Run(ctx, cfg)
+}
+
+// batchPair performs one batched logical request: all copies submitted
+// in one envelope, every copy that landed canceled in another.
+func batchPair(ctx context.Context, cl *middleware.Client, copies int) error {
+	jobs := make([]middleware.BatchJob, copies)
+	for i := range jobs {
+		jobs[i] = middleware.BatchJob{Name: "open", Nodes: 1, Walltime: time.Hour}
+	}
+	subs, err := cl.SubmitBatchContext(ctx, jobs)
+	if err != nil {
+		return err
+	}
+	ids := make([]int64, 0, len(subs))
+	var firstErr error
+	for _, r := range subs {
+		if e := r.Err(); e == nil {
+			ids = append(ids, r.JobID)
+		} else if firstErr == nil {
+			firstErr = e
+		}
+	}
+	if len(ids) == 0 {
+		return firstErr
+	}
+	cans, err := cl.CancelBatchContext(ctx, ids)
+	if err != nil {
+		return err
+	}
+	for _, r := range cans {
+		if e := r.Err(); e != nil {
+			return e
+		}
+	}
+	return nil
 }
 
 // parseRedundancies parses the comma-separated redundancy list.

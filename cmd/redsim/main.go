@@ -76,6 +76,7 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		ordering = fs.String("ordering", "fcfs", "local queue ordering: fcfs|sjf|aged (FCFS is the paper's setup; CBF supports only fcfs)")
 		stale    = fs.Float64("staleness", 0, "grid information service publish interval in seconds for informed routing (0 = control latency, negative = live reads)")
 		sweep    = fs.String("sweep", "", "comma-separated sweep positions overriding an experiment's default axis (e.g. offered rates for -run overload)")
+		stackSel = fs.String("stack", "", "real-stack variant for -run overload: legacy|fast (empty = both); other experiments ignore it")
 		seed     = fs.Uint64("seed", 20060619, "base seed")
 		cache    = fs.String("cache", "on", "memoize identical simulation runs and job streams across experiments: on|off")
 		quiet    = fs.Bool("q", false, "suppress progress and timing output")
@@ -179,6 +180,13 @@ func run(argv []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "redsim: %v\n", err)
 			return 2
 		}
+	}
+	switch *stackSel {
+	case "", "legacy", "fast":
+		opts.Stack = *stackSel
+	default:
+		fmt.Fprintf(stderr, "redsim: unknown stack %q (want legacy or fast)\n", *stackSel)
+		return 2
 	}
 	opts.BaseSeed = *seed
 	if *cache == "on" {

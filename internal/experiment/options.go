@@ -69,6 +69,12 @@ type Options struct {
 	// redundant fractions for fig4, offered loads for loadsweep).
 	// Experiments without a sweep axis ignore it.
 	Sweep []float64
+	// Stack selects the overload experiment's real-stack variant:
+	// "legacy" (paper-faithful full-scan daemon, per-event journal,
+	// unpooled clients), "fast" (incremental cycles, group-committed
+	// journal, pooled batched clients), or "" for both. Other
+	// experiments ignore it.
+	Stack string
 	// Progress, when non-nil, receives (done, total) after each
 	// completed simulation, successful or not.
 	Progress func(done, total int)

@@ -28,14 +28,15 @@ func TestOverloadTables(t *testing.T) {
 	if len(tables) != 3 {
 		t.Fatalf("got %d tables, want 3 (sweep, chaos, bounds)", len(tables))
 	}
-	if want := len(overloadRedundancies); tables[0].Len() != want {
-		t.Errorf("sweep rows = %d, want %d (1 rate × %d redundancies)", tables[0].Len(), want, want)
+	if want := 2 * len(overloadRedundancies); tables[0].Len() != want {
+		t.Errorf("sweep rows = %d, want %d (2 stacks × 1 rate × %d redundancies)",
+			tables[0].Len(), want, len(overloadRedundancies))
 	}
 	if tables[1].Len() != 3 {
 		t.Errorf("chaos rows = %d, want 3 (healthy/blackhole/recovered)", tables[1].Len())
 	}
-	if tables[2].Len() != 4 {
-		t.Errorf("bounds rows = %d, want 4", tables[2].Len())
+	if tables[2].Len() != 6 {
+		t.Errorf("bounds rows = %d, want 6 (capacity+bound per stack, 2 paper rows)", tables[2].Len())
 	}
 	// The stack's counters must surface in the aggregate trace: the
 	// sweep performed real submissions, and at least the breaker's
@@ -52,6 +53,33 @@ func TestOverloadTables(t *testing.T) {
 	}
 	if snap.Counter("gram.breaker.open") == 0 {
 		t.Error("blackhole phase never opened the breaker")
+	}
+}
+
+// TestOverloadStackSelection pins the -stack filter: a single-variant
+// run sweeps only that stack, and unknown names are rejected.
+func TestOverloadStackSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs wall-clock measurements")
+	}
+	saved := overloadTuning
+	overloadTuning.Window = 40 * time.Millisecond
+	overloadTuning.ChaosWindow = 40 * time.Millisecond
+	overloadTuning.Deadline = 200 * time.Millisecond
+	t.Cleanup(func() { overloadTuning = saved })
+
+	tables, err := overloadTables(Options{Sweep: []float64{30}, Trace: obs.New(), Stack: "fast"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(overloadRedundancies); tables[0].Len() != want {
+		t.Errorf("fast-only sweep rows = %d, want %d", tables[0].Len(), want)
+	}
+	if tables[2].Len() != 4 {
+		t.Errorf("fast-only bounds rows = %d, want 4 (one stack + 2 paper rows)", tables[2].Len())
+	}
+	if _, err := overloadTables(Options{Sweep: []float64{30}, Trace: obs.New(), Stack: "bogus"}); err == nil {
+		t.Error("unknown stack name accepted")
 	}
 }
 

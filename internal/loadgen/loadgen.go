@@ -112,7 +112,17 @@ type Config struct {
 	Seed uint64
 	// Do performs one copy. A nil error is a success. Do must respect
 	// ctx: it is canceled at the deadline and on run interruption.
+	// Exactly one of Do and DoBatch must be set.
 	Do func(ctx context.Context, req Request) error
+	// DoBatch, when set instead of Do, performs ALL copies of one
+	// logical request in a single call — for systems under test that
+	// batch the r-way fan-out into one round trip (SubmitBatch). A nil
+	// error means at least one copy landed. Latency is still charged
+	// from the scheduled arrival. Note the accounting difference from
+	// Do: per-copy outcomes are the callee's to fold, so Result.Copies
+	// still counts copies launched, but there is no per-copy
+	// first-success race — the batch answers as a unit.
+	DoBatch func(ctx context.Context, seq, copies int) error
 	// Classify, when non-nil, buckets a failed logical request's error
 	// into a named class for Result.Errors (e.g. "busy", "late").
 	// Deadline expiries are pre-classified as "deadline"; everything
@@ -166,8 +176,8 @@ func (r Result) ErrorRate() float64 {
 // arrivals, drains in-flight requests, and returns the partial result
 // with Interrupted set — it is not an error.
 func Run(ctx context.Context, cfg Config) (Result, error) {
-	if cfg.Do == nil {
-		return Result{}, errors.New("loadgen: Config.Do is required")
+	if (cfg.Do == nil) == (cfg.DoBatch == nil) {
+		return Result{}, errors.New("loadgen: exactly one of Config.Do and Config.DoBatch is required")
 	}
 	if cfg.Rate <= 0 {
 		return Result{}, fmt.Errorf("loadgen: Rate must be positive, got %g", cfg.Rate)
@@ -295,6 +305,27 @@ func (e *engine) logical(ctx context.Context, seq int, scheduled time.Time) {
 	defer cancel()
 
 	r := e.cfg.Redundancy
+	if e.cfg.DoBatch != nil {
+		// Batched fan-out: one call carries all r copies; the batch
+		// answers as a unit, so its completion time is the latency.
+		err := e.cfg.DoBatch(ctx, seq, r)
+		done := time.Now()
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.res.Copies += r
+		if err == nil {
+			e.res.OK++
+			lat := done.Sub(scheduled).Seconds()
+			if lat < 0 {
+				lat = 0
+			}
+			e.lat = append(e.lat, lat)
+		} else {
+			e.res.Failed++
+			e.res.Errors[e.classify(ctx, err)]++
+		}
+		return
+	}
 	type outcome struct {
 		err error
 		at  time.Time

@@ -202,6 +202,52 @@ func TestLatencyPercentiles(t *testing.T) {
 	}
 }
 
+// DoBatch replaces the per-copy fan-out with one call carrying the
+// whole redundancy group: every call must see copies == r, the copy
+// accounting must still reflect r per logical request, and failures
+// flow through Classify exactly like Do failures.
+func TestDoBatchCarriesRedundancyGroup(t *testing.T) {
+	errBusy := errors.New("busy")
+	var calls atomic.Int64
+	res, err := Run(context.Background(), Config{
+		Rate:       100,
+		Arrivals:   Uniform,
+		Duration:   60 * time.Millisecond,
+		Redundancy: 3,
+		DoBatch: func(_ context.Context, seq, copies int) error {
+			calls.Add(1)
+			if copies != 3 {
+				t.Errorf("DoBatch copies = %d, want 3", copies)
+			}
+			if seq%2 == 1 {
+				return errBusy
+			}
+			return nil
+		},
+		Classify: func(err error) string {
+			if errors.Is(err, errBusy) {
+				return "busy"
+			}
+			return ""
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != int64(res.Offered) {
+		t.Fatalf("DoBatch called %d times for %d offered requests", got, res.Offered)
+	}
+	if res.Copies != 3*res.Offered {
+		t.Fatalf("Copies = %d, want %d (3 per logical request)", res.Copies, 3*res.Offered)
+	}
+	if res.OK+res.Failed != res.Offered || res.OK == 0 || res.Failed == 0 {
+		t.Fatalf("OK/Failed = %d/%d of %d, want a mix", res.OK, res.Failed, res.Offered)
+	}
+	if res.Errors["busy"] != res.Failed {
+		t.Fatalf("Errors = %v, want %d busy", res.Errors, res.Failed)
+	}
+}
+
 func TestConfigValidation(t *testing.T) {
 	if _, err := Run(context.Background(), Config{Rate: 1, Duration: time.Second}); err == nil {
 		t.Error("nil Do accepted")
@@ -212,6 +258,11 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := Run(context.Background(), Config{Rate: 1, Do: nop}); err == nil {
 		t.Error("zero duration accepted")
+	}
+	// Do and DoBatch are mutually exclusive ways to issue a request.
+	batch := func(context.Context, int, int) error { return nil }
+	if _, err := Run(context.Background(), Config{Rate: 1, Duration: time.Second, Do: nop, DoBatch: batch}); err == nil {
+		t.Error("both Do and DoBatch accepted")
 	}
 }
 

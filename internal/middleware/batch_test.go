@@ -1,0 +1,255 @@
+// Tests for the batched middleware path: SubmitBatch/CancelBatch
+// round trips, per-operation idempotent replay, shed-entry retry
+// semantics, and the client's connection pre-warming.
+
+package middleware
+
+import (
+	"bytes"
+	"context"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"redreq/internal/pbsd"
+)
+
+// postEnvelope drives one hand-built envelope through the live HTTP
+// endpoint, bypassing the client (which mints fresh OpIDs per call —
+// the replay tests need to send the same ones twice).
+func postEnvelope(t *testing.T, url string, env *Envelope) *Response {
+	t.Helper()
+	raw, err := Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/gram", "text/xml", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var r Response
+	if err := xml.Unmarshal(data, &r); err != nil {
+		t.Fatal(err)
+	}
+	return &r
+}
+
+func TestBatchSubmitCancelRoundTrip(t *testing.T) {
+	ep, backend := newTestEndpoint(t, false, false)
+	c := NewClient(ep.URL, "batcher")
+
+	jobs := make([]BatchJob, 3)
+	for i := range jobs {
+		jobs[i] = BatchJob{Name: fmt.Sprintf("b%d", i), Nodes: 1, Walltime: time.Hour}
+	}
+	subs, err := c.SubmitBatch(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("got %d results, want 3", len(subs))
+	}
+	ids := make([]int64, len(subs))
+	seen := make(map[int64]bool)
+	for i, r := range subs {
+		if e := r.Err(); e != nil {
+			t.Fatalf("entry %d: %v", i, e)
+		}
+		if r.JobID < 1 || seen[r.JobID] {
+			t.Fatalf("entry %d: bad or duplicate JobID %d", i, r.JobID)
+		}
+		seen[r.JobID] = true
+		ids[i] = r.JobID
+	}
+	if q, _, _ := backend.Stat(); q != 3 {
+		t.Errorf("backend queue = %d after batch submit, want 3", q)
+	}
+
+	cans, err := c.CancelBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range cans {
+		if e := r.Err(); e != nil {
+			t.Errorf("cancel entry %d: %v", i, e)
+		}
+	}
+	if q, _, _ := backend.Stat(); q != 0 {
+		t.Errorf("backend queue = %d after batch cancel, want 0", q)
+	}
+
+	// Canceling the same jobs again fails per entry, not per envelope.
+	again, err := c.CancelBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range again {
+		if r.Err() == nil {
+			t.Errorf("double-cancel entry %d succeeded", i)
+		}
+	}
+}
+
+// TestBatchIdempotentReplay pins the per-operation dedup contract: a
+// retried batch with the same OpIDs — even under a fresh MessageID —
+// replays the original outcomes instead of double-enqueueing.
+func TestBatchIdempotentReplay(t *testing.T) {
+	ep, backend := newTestEndpoint(t, false, false)
+
+	batch := &SubmitBatch{Jobs: []SubmitJob{
+		{OpID: "op-a", Name: "a", Nodes: 1, Walltime: 60},
+		{OpID: "op-b", Name: "b", Nodes: 2, Walltime: 60},
+	}}
+	env := &Envelope{
+		Header: Header{MessageID: "m1", Sender: "retrier"},
+		Body:   Body{SubmitBatch: batch},
+	}
+	first := postEnvelope(t, ep.URL, env)
+	if len(first.Batch) != 2 || !first.Batch[0].OK || !first.Batch[1].OK {
+		t.Fatalf("first batch: %+v", first.Batch)
+	}
+
+	// The retry carries a new MessageID (a client that rebuilt the
+	// envelope) but the same OpIDs: nothing may double-enqueue.
+	env.Header.MessageID = "m2"
+	second := postEnvelope(t, ep.URL, env)
+	for i := range first.Batch {
+		if second.Batch[i].JobID != first.Batch[i].JobID {
+			t.Errorf("entry %d replayed JobID %d, want original %d",
+				i, second.Batch[i].JobID, first.Batch[i].JobID)
+		}
+	}
+	if q, _, _ := backend.Stat(); q != 2 {
+		t.Errorf("backend queue = %d after replayed batch, want 2 (no double enqueue)", q)
+	}
+}
+
+// TestBatchShedRetry pins the shed semantics: shed entries report
+// per-operation busy (the envelope stays 200), are never cached, and a
+// retried batch re-attempts exactly them while replaying the landed
+// ones.
+func TestBatchShedRetry(t *testing.T) {
+	backend, err := pbsd.New(pbsd.Config{Nodes: 16, MaxQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := NewService(ServiceConfig{Backend: backend})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := Start(svc, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ep.Close()
+		svc.Close()
+		backend.Close()
+	})
+
+	batch := &SubmitBatch{Jobs: []SubmitJob{
+		{OpID: "s-0", Name: "j0", Nodes: 1, Walltime: 60},
+		{OpID: "s-1", Name: "j1", Nodes: 1, Walltime: 60},
+		{OpID: "s-2", Name: "j2", Nodes: 1, Walltime: 60},
+		{OpID: "s-3", Name: "j3", Nodes: 1, Walltime: 60},
+	}}
+	env := &Envelope{
+		Header: Header{MessageID: "shed-1", Sender: "shedder"},
+		Body:   Body{SubmitBatch: batch},
+	}
+	first := postEnvelope(t, ep.URL, env)
+	var landed, shed int
+	for _, r := range first.Batch {
+		switch {
+		case r.OK:
+			landed++
+		case r.Shed == "busy":
+			shed++
+		default:
+			t.Errorf("unexpected entry: %+v", r)
+		}
+	}
+	if landed != 2 || shed != 2 {
+		t.Fatalf("landed/shed = %d/%d, want 2/2 (MaxQueue=2)", landed, shed)
+	}
+
+	// Drain the queue, then retry the identical envelope: the landed
+	// entries replay their original IDs, the shed entries re-attempt
+	// and now land.
+	for range make([]int, landed) {
+		if _, err := backend.DeleteHead(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := postEnvelope(t, ep.URL, env)
+	for i, r := range second.Batch {
+		if first.Batch[i].OK {
+			if !r.OK || r.JobID != first.Batch[i].JobID {
+				t.Errorf("landed entry %d not replayed: %+v", i, r)
+			}
+		} else {
+			if !r.OK || r.JobID == 0 {
+				t.Errorf("shed entry %d not re-attempted: %+v", i, r)
+			}
+		}
+	}
+	if q, _, _ := backend.Stat(); q != 2 {
+		t.Errorf("backend queue = %d after shed retry, want 2", q)
+	}
+}
+
+// TestBatchValidation checks the envelope validator rejects malformed
+// batches (no entries, missing OpID) as service errors, not crashes.
+func TestBatchValidation(t *testing.T) {
+	ep, _ := newTestEndpoint(t, false, false)
+	for name, body := range map[string]Body{
+		"empty submit batch": {SubmitBatch: &SubmitBatch{}},
+		"missing opid": {SubmitBatch: &SubmitBatch{Jobs: []SubmitJob{
+			{Name: "x", Nodes: 1, Walltime: 60},
+		}}},
+		"cancel bad jobid": {CancelBatch: &CancelBatch{Ops: []CancelJob{
+			{OpID: "c-0", JobID: 0},
+		}}},
+	} {
+		resp := postEnvelope(t, ep.URL, &Envelope{
+			Header: Header{MessageID: "v-" + name, Sender: "validator"},
+			Body:   body,
+		})
+		if resp.OK || resp.Error == "" {
+			t.Errorf("%s: accepted (%+v)", name, resp)
+		}
+	}
+}
+
+// TestWarmOpensPool smokes the pre-warm barrier: n probes against the
+// live endpoint succeed, and the warmed client still works.
+func TestWarmOpensPool(t *testing.T) {
+	ep, _ := newTestEndpoint(t, false, false)
+	c := NewClient(ep.URL, "warmer")
+	if err := c.Warm(context.Background(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit("after-warm", 1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmFailsFast pins the error path: warming against a dead
+// endpoint reports a transport error instead of hanging.
+func TestWarmFailsFast(t *testing.T) {
+	c := NewClientOptions("http://127.0.0.1:1", "warmer", ClientOptions{Timeout: 500 * time.Millisecond})
+	if err := c.Warm(context.Background(), 4); err == nil {
+		t.Fatal("warm against a dead endpoint succeeded")
+	}
+}

@@ -58,7 +58,15 @@ type ClientOptions struct {
 	Hedge time.Duration
 	// Now overrides the breaker's clock (tests).
 	Now func() time.Time
-	// Transport overrides the HTTP transport (tests).
+	// PoolSize sizes the client's idle HTTP connection pool (keep-alives
+	// on). net/http's zero-value Transport caps idle connections at 2
+	// per host — the classic fan-out bottleneck: past two concurrent
+	// workers, every extra request pays a fresh TCP handshake. 0 uses
+	// 64. Ignored when Transport is set.
+	PoolSize int
+	// Transport overrides the HTTP transport (tests, or sharing one
+	// pool across clients). Nil builds a pooled transport sized by
+	// PoolSize.
 	Transport http.RoundTripper
 	// Trace, when non-nil, counts retries (gram.client.retries),
 	// attempt timeouts (gram.client.timeouts), BUSY shed responses
@@ -111,9 +119,20 @@ func NewClientOptions(baseURL, sender string, opt ClientOptions) *Client {
 	if opt.Jitter == nil {
 		opt.Jitter = rand.Float64
 	}
+	if opt.PoolSize <= 0 {
+		opt.PoolSize = 64
+	}
+	transport := opt.Transport
+	if transport == nil {
+		transport = &http.Transport{
+			MaxIdleConns:        opt.PoolSize,
+			MaxIdleConnsPerHost: opt.PoolSize,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
 	c := &Client{
 		base:  baseURL,
-		http:  &http.Client{Timeout: opt.Timeout, Transport: opt.Transport},
+		http:  &http.Client{Timeout: opt.Timeout, Transport: transport},
 		opt:   opt,
 		name:  sender,
 		nonce: rand.Uint64(),
@@ -348,6 +367,134 @@ func (c *Client) StatContext(ctx context.Context) (queued, running, free int, er
 	return r.Queued, r.Running, r.Free, nil
 }
 
+// Warm pre-opens n keep-alive connections to the endpoint so the
+// first burst of real traffic finds a hot pool instead of paying n
+// TCP handshakes at once. Each prober holds its response body open
+// until all n connections exist — otherwise the pool would satisfy
+// every probe from one recycled connection.
+func (c *Client) Warm(ctx context.Context, n int) error {
+	if n < 1 {
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		hold sync.WaitGroup
+		werr atomic.Pointer[error]
+	)
+	hold.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+			if err != nil {
+				werr.CompareAndSwap(nil, &err)
+				hold.Done()
+				return
+			}
+			resp, err := c.http.Do(req)
+			if err != nil {
+				e := error(&TransportError{Op: "warm", Err: err})
+				werr.CompareAndSwap(nil, &e)
+				hold.Done()
+				return
+			}
+			hold.Done()
+			hold.Wait()
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}()
+	}
+	wg.Wait()
+	if p := werr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// BatchJob describes one submission inside a SubmitBatch call.
+type BatchJob struct {
+	Name     string
+	Nodes    int
+	Walltime time.Duration
+}
+
+// Err converts one batch entry's outcome into the error the
+// equivalent single-operation call would have returned: ErrBusy or
+// ErrLate for shed entries, a ServiceError for failures, nil for
+// success.
+func (r BatchResult) Err() error {
+	switch r.Shed {
+	case "busy":
+		return ErrBusy
+	case "late":
+		return ErrLate
+	}
+	if !r.OK {
+		return &ServiceError{Reason: r.Error}
+	}
+	return nil
+}
+
+// opID mints a fresh per-operation idempotency key; like MessageIDs
+// it is unique per client instance so retried batches deduplicate at
+// the service without colliding across clients.
+func (c *Client) opID() string {
+	return fmt.Sprintf("%s-%x-%d", c.name, c.nonce, c.seq.Add(1))
+}
+
+// SubmitBatch submits n jobs in one round trip — the r-way redundant
+// fan-out of the paper collapsed into a single envelope. The reply is
+// one BatchResult per job, in order; inspect each with Err. OpIDs are
+// minted before the retry loop, so a retried batch replays entries
+// that landed and re-attempts only the ones that were shed.
+func (c *Client) SubmitBatch(jobs []BatchJob) ([]BatchResult, error) {
+	return c.SubmitBatchContext(context.Background(), jobs)
+}
+
+// SubmitBatchContext is SubmitBatch bounded by a caller context.
+func (c *Client) SubmitBatchContext(ctx context.Context, jobs []BatchJob) ([]BatchResult, error) {
+	ops := make([]SubmitJob, len(jobs))
+	for i, j := range jobs {
+		ops[i] = SubmitJob{
+			OpID: c.opID(),
+			Name: j.Name, Nodes: j.Nodes, Walltime: j.Walltime.Seconds(),
+			Arguments: []string{"--input", "data.bin"},
+		}
+	}
+	r, err := c.call(ctx, Body{SubmitBatch: &SubmitBatch{Jobs: ops}})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Batch) != len(jobs) {
+		return nil, &DecodeError{Err: fmt.Errorf("middleware: batch answered %d results for %d operations", len(r.Batch), len(jobs))}
+	}
+	return r.Batch, nil
+}
+
+// CancelBatch withdraws n jobs in one round trip (the loser-cancel
+// side of a redundant submit), with the same per-entry status and
+// idempotency contract as SubmitBatch.
+func (c *Client) CancelBatch(ids []int64) ([]BatchResult, error) {
+	return c.CancelBatchContext(context.Background(), ids)
+}
+
+// CancelBatchContext is CancelBatch bounded by a caller context.
+func (c *Client) CancelBatchContext(ctx context.Context, ids []int64) ([]BatchResult, error) {
+	ops := make([]CancelJob, len(ids))
+	for i, id := range ids {
+		ops[i] = CancelJob{OpID: c.opID(), JobID: id}
+	}
+	r, err := c.call(ctx, Body{CancelBatch: &CancelBatch{Ops: ops}})
+	if err != nil {
+		return nil, err
+	}
+	if len(r.Batch) != len(ids) {
+		return nil, &DecodeError{Err: fmt.Errorf("middleware: batch answered %d results for %d operations", len(r.Batch), len(ids))}
+	}
+	return r.Batch, nil
+}
+
 // RateResult is one transaction-rate measurement.
 type RateResult struct {
 	Durable      bool
@@ -366,43 +513,45 @@ func MeasureRate(url string, clients int, dur time.Duration, durable bool) (Rate
 	if clients < 1 {
 		clients = 2
 	}
+	// One pooled client shared by every worker: the sequence counter is
+	// atomic, so sharing is free, the pool holds a warm connection per
+	// worker, and the measurement sees the endpoint's cost rather than
+	// per-worker connection setup.
+	cl := NewClientOptions(url, "bench", ClientOptions{PoolSize: clients})
+	if err := cl.Warm(context.Background(), clients); err != nil {
+		return RateResult{}, err
+	}
 	var (
 		tx   atomic.Int64
 		stop atomic.Bool
 		wg   sync.WaitGroup
-		mu   sync.Mutex
-		werr error
+		werr atomic.Pointer[error]
 	)
 	start := time.Now()
 	for w := 0; w < clients; w++ {
 		wg.Add(1)
-		go func(w int) {
+		go func() {
 			defer wg.Done()
-			cl := NewClient(url, fmt.Sprintf("bench-%d", w))
 			for !stop.Load() {
 				id, err := cl.Submit("tx", 1, time.Hour)
 				if err == nil {
 					err = cl.Cancel(id)
 				}
 				if err != nil {
-					mu.Lock()
-					if werr == nil {
-						werr = err
-					}
-					mu.Unlock()
+					werr.CompareAndSwap(nil, &err)
 					stop.Store(true)
 					return
 				}
 				tx.Add(2)
 			}
-		}(w)
+		}()
 	}
 	time.Sleep(dur)
 	stop.Store(true)
 	wg.Wait()
 	elapsed := time.Since(start)
-	if werr != nil {
-		return RateResult{}, werr
+	if p := werr.Load(); p != nil {
+		return RateResult{}, *p
 	}
 	res := RateResult{
 		Durable:      durable,

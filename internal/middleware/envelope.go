@@ -29,15 +29,21 @@ type Header struct {
 	Sender    string `xml:"Sender"`
 }
 
-// Body holds exactly one operation.
+// Body holds exactly one operation (a batch counts as one).
 type Body struct {
-	Submit *SubmitJob `xml:"SubmitJob,omitempty"`
-	Cancel *CancelJob `xml:"CancelJob,omitempty"`
-	Status *JobStatus `xml:"JobStatus,omitempty"`
+	Submit      *SubmitJob   `xml:"SubmitJob,omitempty"`
+	Cancel      *CancelJob   `xml:"CancelJob,omitempty"`
+	Status      *JobStatus   `xml:"JobStatus,omitempty"`
+	SubmitBatch *SubmitBatch `xml:"SubmitBatch,omitempty"`
+	CancelBatch *CancelBatch `xml:"CancelBatch,omitempty"`
 }
 
 // SubmitJob requests execution of a job.
 type SubmitJob struct {
+	// OpID is the per-operation idempotency key, required inside a
+	// batch (where the envelope's MessageID covers the whole batch,
+	// not the individual operation); ignored for single submits.
+	OpID     string  `xml:"OpID,omitempty"`
 	Name     string  `xml:"Name"`
 	Nodes    int     `xml:"Nodes"`
 	Walltime float64 `xml:"WalltimeSeconds"`
@@ -47,7 +53,27 @@ type SubmitJob struct {
 
 // CancelJob withdraws a pending job.
 type CancelJob struct {
-	JobID int64 `xml:"JobID"`
+	// OpID is the per-operation idempotency key inside a batch;
+	// ignored for single cancels.
+	OpID  string `xml:"OpID,omitempty"`
+	JobID int64  `xml:"JobID"`
+}
+
+// SubmitBatch carries n independent submissions in one round trip.
+// The service answers with a per-operation Response.Batch in request
+// order; one shed or failed entry does not fail the envelope. Each
+// entry's OpID deduplicates that operation alone, so a replayed or
+// partially-overlapping retry re-attempts exactly the entries that
+// never landed.
+type SubmitBatch struct {
+	Jobs []SubmitJob `xml:"Jobs>Job"`
+}
+
+// CancelBatch withdraws n jobs in one round trip (the loser-cancel
+// fan-in of a redundant submit), with the same per-operation status
+// and idempotency contract as SubmitBatch.
+type CancelBatch struct {
+	Ops []CancelJob `xml:"Ops>Op"`
 }
 
 // JobStatus queries daemon state.
@@ -62,6 +88,21 @@ type Response struct {
 	Queued  int      `xml:"Queued,omitempty"`
 	Running int      `xml:"Running,omitempty"`
 	Free    int      `xml:"Free,omitempty"`
+	// Batch holds per-operation outcomes for SubmitBatch/CancelBatch
+	// envelopes, in request order.
+	Batch []BatchResult `xml:"Batch>Op,omitempty"`
+}
+
+// BatchResult is one batch entry's outcome.
+type BatchResult struct {
+	OK    bool   `xml:"OK"`
+	JobID int64  `xml:"JobID,omitempty"`
+	Error string `xml:"Error,omitempty"`
+	// Shed marks per-operation backpressure ("busy" for a full queue,
+	// "late" for an admission-control drop) — the batch analog of the
+	// single-op 503/429 statuses. Shed entries are never cached, so a
+	// retried batch re-attempts them.
+	Shed string `xml:"Shed,omitempty"`
 }
 
 // Marshal encodes an envelope as XML.
@@ -109,6 +150,37 @@ func (e *Envelope) Validate() error {
 	}
 	if e.Body.Status != nil {
 		ops++
+	}
+	if e.Body.SubmitBatch != nil {
+		ops++
+		if len(e.Body.SubmitBatch.Jobs) == 0 {
+			return fmt.Errorf("middleware: SubmitBatch carries no operations")
+		}
+		for i, s := range e.Body.SubmitBatch.Jobs {
+			if s.OpID == "" {
+				return fmt.Errorf("middleware: SubmitBatch job %d lacks an OpID", i)
+			}
+			if s.Nodes < 1 {
+				return fmt.Errorf("middleware: SubmitBatch job %d: Nodes %d < 1", i, s.Nodes)
+			}
+			if s.Walltime <= 0 {
+				return fmt.Errorf("middleware: SubmitBatch job %d: Walltime %v <= 0", i, s.Walltime)
+			}
+		}
+	}
+	if e.Body.CancelBatch != nil {
+		ops++
+		if len(e.Body.CancelBatch.Ops) == 0 {
+			return fmt.Errorf("middleware: CancelBatch carries no operations")
+		}
+		for i, c := range e.Body.CancelBatch.Ops {
+			if c.OpID == "" {
+				return fmt.Errorf("middleware: CancelBatch op %d lacks an OpID", i)
+			}
+			if c.JobID < 1 {
+				return fmt.Errorf("middleware: CancelBatch op %d: JobID %d < 1", i, c.JobID)
+			}
+		}
 	}
 	if ops != 1 {
 		return fmt.Errorf("middleware: envelope must carry exactly one operation, has %d", ops)

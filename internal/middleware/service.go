@@ -156,9 +156,9 @@ func (s *Service) handleGRAM(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Trace != nil {
 		elapsed := time.Since(t0).Seconds()
 		switch {
-		case env.Body.Submit != nil:
+		case env.Body.Submit != nil, env.Body.SubmitBatch != nil:
 			s.hSubmit.Observe(elapsed)
-		case env.Body.Cancel != nil:
+		case env.Body.Cancel != nil, env.Body.CancelBatch != nil:
 			s.hCancel.Observe(elapsed)
 		case env.Body.Status != nil:
 			s.hStatus.Observe(elapsed)
@@ -291,12 +291,106 @@ func (s *Service) execute(env *Envelope) (*Response, shedVerdict) {
 		}
 		s.remember(key, resp)
 		return resp, notShed
+	case env.Body.SubmitBatch != nil:
+		return s.executeSubmitBatch(env, key), notShed
+	case env.Body.CancelBatch != nil:
+		return s.executeCancelBatch(env, key), notShed
 	case env.Body.Status != nil:
 		q, run, free := s.cfg.Backend.Stat()
 		return &Response{OK: true, Queued: q, Running: run, Free: free}, notShed
 	default:
 		return &Response{OK: false, Error: "no operation"}, notShed
 	}
+}
+
+// opKey is the replay-cache key of one batch entry, distinct from any
+// envelope key (different separator byte) so a batch operation and a
+// whole envelope can never collide.
+func (s *Service) opKey(env *Envelope, opID string) string {
+	if opID == "" || s.idemCache == nil {
+		return ""
+	}
+	return env.Header.Sender + "\x01" + opID
+}
+
+// executeSubmitBatch runs every submission of a batch envelope,
+// deduplicating per operation: an entry whose OpID already has a
+// cached outcome replays it, everything else hits the backend. Per-op
+// shedding (BUSY/LATE) lands in the entry's result instead of failing
+// the envelope, and shed entries are not cached — a retried batch
+// re-attempts exactly those. The envelope itself is cached only when
+// nothing was shed, for the same reason.
+func (s *Service) executeSubmitBatch(env *Envelope, key string) *Response {
+	ops := env.Body.SubmitBatch.Jobs
+	if s.cfg.Durable {
+		// One durable state record covers the whole envelope — batching
+		// amortizes the fsync across every operation it carries.
+		if err := s.persist("submit-batch", env); err != nil {
+			return &Response{OK: false, Error: err.Error()}
+		}
+	}
+	results := make([]BatchResult, len(ops))
+	anyShed := false
+	for i, op := range ops {
+		ok := s.opKey(env, op.OpID)
+		if cached, hit := s.replay(ok); hit {
+			s.cIdemHit.Inc()
+			results[i] = BatchResult{OK: cached.OK, JobID: cached.JobID, Error: cached.Error}
+			continue
+		}
+		id, err := s.cfg.Backend.Submit(op.Name, op.Nodes,
+			time.Duration(op.Walltime*float64(time.Second)))
+		switch {
+		case errors.Is(err, pbsd.ErrBusy):
+			results[i] = BatchResult{Error: err.Error(), Shed: "busy"}
+			anyShed = true
+			s.cShed.Inc()
+			continue
+		case errors.Is(err, pbsd.ErrLate):
+			results[i] = BatchResult{Error: err.Error(), Shed: "late"}
+			anyShed = true
+			s.cLate.Inc()
+			continue
+		case err != nil:
+			results[i] = BatchResult{Error: err.Error()}
+		default:
+			results[i] = BatchResult{OK: true, JobID: id}
+		}
+		s.remember(ok, &Response{OK: results[i].OK, JobID: results[i].JobID, Error: results[i].Error})
+	}
+	resp := &Response{OK: true, Batch: results}
+	if !anyShed {
+		s.remember(key, resp)
+	}
+	return resp
+}
+
+// executeCancelBatch is executeSubmitBatch's cancel-side twin.
+func (s *Service) executeCancelBatch(env *Envelope, key string) *Response {
+	ops := env.Body.CancelBatch.Ops
+	if s.cfg.Durable {
+		if err := s.persist("cancel-batch", env); err != nil {
+			return &Response{OK: false, Error: err.Error()}
+		}
+	}
+	results := make([]BatchResult, len(ops))
+	for i, op := range ops {
+		ok := s.opKey(env, op.OpID)
+		if cached, hit := s.replay(ok); hit {
+			s.cIdemHit.Inc()
+			results[i] = BatchResult{OK: cached.OK, Error: cached.Error}
+			continue
+		}
+		if err := s.cfg.Backend.Delete(op.JobID); err != nil {
+			results[i] = BatchResult{Error: err.Error()}
+		} else {
+			results[i] = BatchResult{OK: true}
+		}
+		s.remember(ok, &Response{OK: results[i].OK, Error: results[i].Error})
+	}
+	resp := &Response{OK: true, Batch: results}
+	s.remember(key, resp)
+	return resp
 }
 
 // authorize performs GSI-like message-level security work: it signs

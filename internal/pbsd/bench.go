@@ -29,6 +29,11 @@ type SaturationConfig struct {
 	// Nodes sizes the virtual node pool (the paper's testbed had a
 	// 16-node cluster).
 	Nodes int
+	// FastPath measures the daemon's incremental scheduling mode
+	// instead of the default paper-faithful full-scan mode. Figure 5
+	// needs the default: the O(queue) collapse it reproduces IS the
+	// full scan, and the fast path deliberately removes it.
+	FastPath bool
 	// Trace, when non-nil, collects the daemon's request-latency
 	// histograms and protocol error counters during the measurement.
 	Trace *obs.Trace
@@ -63,7 +68,7 @@ func Saturate(cfg SaturationConfig) (SaturationResult, error) {
 	if cfg.Nodes < 1 {
 		cfg.Nodes = 16
 	}
-	srv, err := New(Config{Nodes: cfg.Nodes, Execute: false, Trace: cfg.Trace})
+	srv, err := New(Config{Nodes: cfg.Nodes, Execute: false, FullScanCycle: !cfg.FastPath, Trace: cfg.Trace})
 	if err != nil {
 		return SaturationResult{}, err
 	}

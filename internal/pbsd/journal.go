@@ -19,6 +19,18 @@
 // checkpoints. A torn final line (the crash happened mid-write) is
 // ignored; anything malformed earlier is a corrupt journal and fails
 // recovery loudly rather than silently dropping jobs.
+//
+// Two write disciplines share this format. The legacy discipline
+// appends one line per event (syncing every 256 lines). The
+// group-commit discipline accumulates lines from concurrent events in
+// a batch buffer and lets the first waiter flush the whole batch with
+// one write + one fsync — every acknowledged operation is on disk,
+// but concurrent operations share the flush. Lines are appended to
+// the batch in queue-mutation order (the server enqueues S/D lines
+// under its queue lock), so a batch is just a contiguous slice of the
+// same event stream and replay is unchanged: a crash mid-flush can
+// tear at most the final line of what reached the file, exactly the
+// single-line torn tail replay already tolerates.
 
 package pbsd
 
@@ -30,19 +42,39 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
 type journal struct {
-	dir  string
-	file *os.File
-	n    int
+	dir   string
+	file  *os.File
+	group bool
+
+	// Legacy-discipline state: lines appended since the last periodic
+	// sync.
+	n int
+
+	// Group-commit state. batch numbers the currently accumulating
+	// buffer; enqueue returns the batch its line joined, and syncBatch
+	// blocks until flushed passes it. The first waiter of an unflushed
+	// batch becomes the leader: it seals the buffer and performs the
+	// write + fsync outside the lock while later arrivals accumulate
+	// the next batch. err is sticky — after one failed flush every
+	// subsequent wait fails, because the log's tail is now undefined.
+	mu       sync.Mutex
+	cond     *sync.Cond
+	buf      []byte
+	batch    uint64
+	flushed  uint64 // batches below this are durably on disk
+	flushing bool
+	err      error
 }
 
 // openJournal replays any existing log under dir and returns the
 // journal (opened for appending), the recovered pending jobs in queue
 // order, and the highest job ID ever issued.
-func openJournal(dir string) (*journal, []*Job, int64, error) {
+func openJournal(dir string, group bool) (*journal, []*Job, int64, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, 0, fmt.Errorf("pbsd: journal: %w", err)
 	}
@@ -55,7 +87,9 @@ func openJournal(dir string) (*journal, []*Job, int64, error) {
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("pbsd: journal: %w", err)
 	}
-	return &journal{dir: dir, file: f}, pending, maxID, nil
+	j := &journal{dir: dir, file: f, group: group}
+	j.cond = sync.NewCond(&j.mu)
+	return j, pending, maxID, nil
 }
 
 // replay reconstructs the pending queue from the event log at path.
@@ -163,15 +197,43 @@ func parseEvent(line string) (*Job, int64, byte, error) {
 	}
 }
 
-func (j *journal) record(job *Job) error {
-	return j.append(fmt.Sprintf("S %d %d %d %d %s\n",
-		job.ID, job.Nodes, int64(job.Walltime), job.Submit.UnixNano(), sanitizeName(job.Name)))
+// submitLine renders a job's S event.
+func submitLine(job *Job) string {
+	return fmt.Sprintf("S %d %d %d %d %s\n",
+		job.ID, job.Nodes, int64(job.Walltime), job.Submit.UnixNano(), sanitizeName(job.Name))
 }
 
-func (j *journal) recordDelete(id int64) error   { return j.append(fmt.Sprintf("D %d\n", id)) }
-func (j *journal) recordStart(id int64) error    { return j.append(fmt.Sprintf("R %d\n", id)) }
-func (j *journal) recordComplete(id int64) error { return j.append(fmt.Sprintf("C %d\n", id)) }
+// deleteLine renders a D event.
+func deleteLine(id int64) string { return fmt.Sprintf("D %d\n", id) }
 
+func (j *journal) record(job *Job) error { return j.append(submitLine(job)) }
+
+func (j *journal) recordDelete(id int64) error { return j.append(deleteLine(id)) }
+
+// recordStart and recordComplete are fire-and-forget in both
+// disciplines: R/C events matter only relative to their own job's S
+// line (replay requeues R-without-C), so with group commit they join
+// the current batch and a background waiter drives the flush in case
+// no acknowledged operation comes along to share it.
+func (j *journal) recordStart(id int64) error {
+	return j.sideEvent(fmt.Sprintf("R %d\n", id))
+}
+
+func (j *journal) recordComplete(id int64) error {
+	return j.sideEvent(fmt.Sprintf("C %d\n", id))
+}
+
+func (j *journal) sideEvent(line string) error {
+	if j.group {
+		b := j.enqueue(line)
+		go j.syncBatch(b)
+		return nil
+	}
+	return j.append(line)
+}
+
+// append is the legacy discipline: one write per event, a periodic
+// sync every 256 lines.
 func (j *journal) append(line string) error {
 	if _, err := io.WriteString(j.file, line); err != nil {
 		return fmt.Errorf("pbsd: journal write: %w", err)
@@ -183,6 +245,63 @@ func (j *journal) append(line string) error {
 		}
 	}
 	return nil
+}
+
+// enqueue appends one event line to the accumulating batch and
+// returns that batch's number for syncBatch. The server calls enqueue
+// for S/D lines while holding its queue lock, which is what keeps log
+// order identical to queue-mutation order.
+func (j *journal) enqueue(line string) uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.buf = append(j.buf, line...)
+	return j.batch
+}
+
+// syncBatch blocks until the given batch is durably on disk (or has
+// failed). The first caller waiting on an unflushed batch becomes the
+// leader: it seals the buffer, advances the batch counter so
+// concurrent enqueues accumulate the next window, and performs one
+// write + one fsync for every line sealed. Followers of the same
+// batch just wait for the leader's broadcast — that sharing is the
+// whole point of group commit.
+func (j *journal) syncBatch(batch uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for {
+		if j.err != nil {
+			return j.err
+		}
+		if j.flushed > batch {
+			return nil
+		}
+		if j.flushing {
+			j.cond.Wait()
+			continue
+		}
+		j.flushing = true
+		sealed := j.batch
+		buf := j.buf
+		j.buf = nil
+		j.batch++
+		j.mu.Unlock()
+		var err error
+		if len(buf) > 0 {
+			if _, werr := j.file.Write(buf); werr != nil {
+				err = fmt.Errorf("pbsd: journal write: %w", werr)
+			} else if serr := j.file.Sync(); serr != nil {
+				err = fmt.Errorf("pbsd: journal sync: %w", serr)
+			}
+		}
+		j.mu.Lock()
+		j.flushing = false
+		if err != nil {
+			j.err = err
+		} else {
+			j.flushed = sealed + 1
+		}
+		j.cond.Broadcast()
+	}
 }
 
 // sanitizeName keeps job names single-line so they cannot forge
@@ -197,6 +316,13 @@ func sanitizeName(name string) string {
 }
 
 func (j *journal) close() error {
+	if j.group {
+		// Flush whatever the current batch holds before closing.
+		if err := j.syncBatch(j.enqueue("")); err != nil {
+			j.file.Close()
+			return err
+		}
+	}
 	if err := j.file.Sync(); err != nil {
 		j.file.Close()
 		return err

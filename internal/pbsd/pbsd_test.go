@@ -165,7 +165,12 @@ func TestBackfillRespectsPool(t *testing.T) {
 }
 
 func TestCycleScansWholeQueue(t *testing.T) {
-	s := newTestServer(t, 16, false)
+	// The paper-faithful mode: every operation rescans the whole queue.
+	s, err := New(Config{Nodes: 16, FullScanCycle: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	const preload = 500
 	for i := 0; i < preload; i++ {
 		s.Submit("p", 1, time.Hour)
